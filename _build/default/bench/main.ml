@@ -1,0 +1,228 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Sect. 5) and runs Bechamel micro-benchmarks of the solvers.
+
+   Usage:
+     dune exec bench/main.exe               # everything, paper parameters
+     dune exec bench/main.exe -- quick      # everything, reduced parameters
+     dune exec bench/main.exe -- table2     # a single artefact
+     dune exec bench/main.exe -- perf      # only the micro-benchmarks *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let report_sanity checks =
+  let failed = List.filter (fun (_, ok) -> not ok) checks in
+  if failed = [] then
+    Printf.printf "[sanity] all %d qualitative checks hold\n"
+      (List.length checks)
+  else
+    List.iter
+      (fun (label, _) -> Printf.printf "[sanity] FAILED: %s\n" label)
+      failed
+
+let run_table2 cfg =
+  section "Table 2: normalized expected costs (ReservationOnly)";
+  let t = Experiments.Table2.run ~cfg () in
+  print_string (Experiments.Table2.to_string t);
+  report_sanity (Experiments.Table2.sanity t);
+  t
+
+let run_table3 cfg =
+  section "Table 3: best t1 vs quantile guesses (ReservationOnly)";
+  let t = Experiments.Table3.run ~cfg () in
+  print_string (Experiments.Table3.to_string t);
+  report_sanity (Experiments.Table3.sanity t)
+
+let run_table4 cfg t2 =
+  section "Table 4: discretization convergence (ReservationOnly)";
+  let t = Experiments.Table4.run ~cfg () in
+  print_string (Experiments.Table4.to_string t);
+  let brute_force name =
+    let row =
+      List.find
+        (fun r -> r.Experiments.Table2.dist_name = name)
+        t2.Experiments.Table2.rows
+    in
+    row.Experiments.Table2.values.(0)
+  in
+  report_sanity (Experiments.Table4.sanity t ~brute_force)
+
+let run_fig1 cfg =
+  section "Figure 1: neuroscience traces and LogNormal fits";
+  let t = Experiments.Fig1.run ~cfg () in
+  print_string (Experiments.Fig1.to_string t);
+  report_sanity (Experiments.Fig1.sanity t)
+
+let run_fig2 cfg =
+  section "Figure 2: HPC queue wait times and affine fit";
+  let t = Experiments.Fig2.run ~cfg () in
+  print_string (Experiments.Fig2.to_string t);
+  report_sanity (Experiments.Fig2.sanity t)
+
+let run_fig3 cfg =
+  section "Figure 3: normalized cost vs t1 (gaps = invalid sequences)";
+  let t = Experiments.Fig3.run ~cfg () in
+  print_string (Experiments.Fig3.to_string t);
+  report_sanity (Experiments.Fig3.sanity t)
+
+let run_fig4 cfg =
+  section "Figure 4: NeuroHPC scenario sweep";
+  let t = Experiments.Fig4.run ~cfg () in
+  print_string (Experiments.Fig4.to_string t);
+  report_sanity (Experiments.Fig4.sanity t)
+
+let run_s1 cfg =
+  section "Section 3.5: optimal first reservation for Exp(1)";
+  let t = Experiments.Exp_s1.run ~cfg () in
+  print_string (Experiments.Exp_s1.to_string t);
+  report_sanity (Experiments.Exp_s1.sanity t)
+
+let run_table2x cfg =
+  section
+    "Extended Table 2: paper strategies + quantile ladders on the extended \
+     distributions";
+  let t = Experiments.Table2x.run ~cfg () in
+  print_string (Experiments.Table2x.to_string t);
+  report_sanity (Experiments.Table2x.sanity t)
+
+let run_ablation_bf cfg =
+  section "Ablation: brute-force resolution (M, N) and MC selection optimism";
+  let t = Experiments.Ablation_bf.run ~cfg () in
+  print_string (Experiments.Ablation_bf.to_string t);
+  report_sanity (Experiments.Ablation_bf.sanity t)
+
+let run_ablation_eps cfg =
+  section "Ablation: truncation quantile eps for the discretization schemes";
+  let t = Experiments.Ablation_eps.run ~cfg () in
+  print_string (Experiments.Ablation_eps.to_string t);
+  report_sanity (Experiments.Ablation_eps.sanity t)
+
+let run_robustness cfg =
+  section "Ablation: robustness to model misspecification (fit from k runs)";
+  let t = Experiments.Robustness.run ~cfg () in
+  print_string (Experiments.Robustness.to_string t);
+  report_sanity (Experiments.Robustness.sanity t)
+
+let run_trace_vs_fit cfg =
+  section "Ablation: interpolating traces vs fitting a LogNormal (NeuroHPC)";
+  let t = Experiments.Trace_vs_fit.run ~cfg () in
+  print_string (Experiments.Trace_vs_fit.to_string t);
+  report_sanity (Experiments.Trace_vs_fit.sanity t)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the individual solvers.                *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let open Stochastic_core in
+  let exp1 = Distributions.Exponential.default in
+  let lognormal = Distributions.Lognormal.default in
+  let beta = Distributions.Beta_dist.default in
+  let cost = Cost_model.reservation_only in
+  let rng = Randomness.Rng.create ~seed:7 () in
+  let samples =
+    Distributions.Dist.samples exp1 (Randomness.Rng.copy rng) 1000
+  in
+  Array.sort compare samples;
+  let mbm = Heuristics.mean_by_mean exp1 in
+  [
+    Test.make ~name:"recurrence/generate-exp"
+      (Staged.stage (fun () -> ignore (Recurrence.generate cost exp1 ~t1:0.75)));
+    Test.make ~name:"recurrence/generate-lognormal"
+      (Staged.stage (fun () ->
+           ignore (Recurrence.generate cost lognormal ~t1:30.0)));
+    Test.make ~name:"eval/monte-carlo-1000"
+      (Staged.stage (fun () ->
+           ignore
+             (Expected_cost.mean_cost_presampled cost ~sorted_samples:samples
+                mbm)));
+    Test.make ~name:"eval/exact-series"
+      (Staged.stage (fun () -> ignore (Expected_cost.exact cost exp1 mbm)));
+    Test.make ~name:"discretize/equal-time-1000"
+      (Staged.stage (fun () ->
+           ignore (Discretize.run Discretize.Equal_time ~n:1000 lognormal)));
+    Test.make ~name:"discretize/equal-prob-1000-beta"
+      (Staged.stage (fun () ->
+           ignore (Discretize.run Discretize.Equal_probability ~n:1000 beta)));
+    Test.make ~name:"dp/solve-1000"
+      (let disc = Discretize.run Discretize.Equal_time ~n:1000 lognormal in
+       Staged.stage (fun () -> ignore (Dp.solve cost disc)));
+    Test.make ~name:"brute-force/exp-m500-exact"
+      (Staged.stage (fun () ->
+           ignore
+             (Brute_force.search ~m:500 ~evaluator:Brute_force.Exact cost exp1)));
+    Test.make ~name:"fit/lognormal-mle-5000"
+      (let trace =
+         Platform.Traces.generate ~runs:5000 Platform.Traces.vbmqa
+           (Randomness.Rng.copy rng)
+       in
+       Staged.stage (fun () ->
+           ignore (Distributions.Fitting.lognormal_mle trace)));
+    Test.make ~name:"specfun/inverse-betai"
+      (Staged.stage (fun () ->
+           ignore (Numerics.Specfun.inverse_betai 2.0 2.0 0.3)));
+  ]
+
+let run_perf () =
+  section "Solver micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all
+      (Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) ())
+      [ Toolkit.Instance.monotonic_clock ]
+      test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let tests = Test.make_grouped ~name:"solvers" (perf_tests ()) in
+  let results = analyze (benchmark tests) in
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let line =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.sprintf "%-44s %12.1f ns/run" name est
+        | _ -> Printf.sprintf "%-44s (no estimate)" name
+      in
+      lines := line :: !lines)
+    results;
+  List.iter print_endline (List.sort compare !lines)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let cfg =
+    if quick then Experiments.Config.quick else Experiments.Config.paper
+  in
+  let artefacts = List.filter (fun a -> a <> "quick") args in
+  let all = artefacts = [] || List.mem "all" artefacts in
+  let want name = all || List.mem name artefacts in
+  Printf.printf
+    "Reservation Strategies for Stochastic Jobs - benchmark harness\n";
+  Printf.printf "parameters: M=%d, N=%d, n=%d, eps=%g, seed=%d%s\n"
+    cfg.Experiments.Config.m cfg.Experiments.Config.n_mc
+    cfg.Experiments.Config.disc_n cfg.Experiments.Config.eps
+    cfg.Experiments.Config.seed
+    (if quick then " (quick mode)" else "");
+  let t2 =
+    if want "table2" || want "table4" then Some (run_table2 cfg) else None
+  in
+  if want "table3" then run_table3 cfg;
+  (match t2 with Some t2 when want "table4" -> run_table4 cfg t2 | _ -> ());
+  if want "fig1" then run_fig1 cfg;
+  if want "fig2" then run_fig2 cfg;
+  if want "fig3" then run_fig3 cfg;
+  if want "fig4" then run_fig4 cfg;
+  if want "s1" then run_s1 cfg;
+  if want "table2x" then run_table2x cfg;
+  if want "ablation-bf" then run_ablation_bf cfg;
+  if want "ablation-eps" then run_ablation_eps cfg;
+  if want "robustness" then run_robustness cfg;
+  if want "trace-vs-fit" then run_trace_vs_fit cfg;
+  if want "perf" then run_perf ()

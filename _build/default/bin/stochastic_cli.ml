@@ -1,0 +1,349 @@
+(* Command-line interface to the reservation-strategy library.
+
+   Examples:
+     stochastic-reservations sequence --dist lognormal --strategy brute-force
+     stochastic-reservations evaluate --dist weibull --strategy equal-time
+     stochastic-reservations simulate --trace runs.csv --jobs 2000 --hpc
+     stochastic-reservations table2 --quick
+     stochastic-reservations s1 *)
+
+open Cmdliner
+
+module Dist = Distributions.Dist
+module Cost_model = Stochastic_core.Cost_model
+module Strategy = Stochastic_core.Strategy
+module Sequence = Stochastic_core.Sequence
+module Expected_cost = Stochastic_core.Expected_cost
+
+(* ------------------------- common arguments ----------------------- *)
+
+let dist_arg =
+  let doc =
+    "Execution-time distribution: one of the Table 1 names (exponential, \
+     weibull, gamma, lognormal, truncatednormal, pareto, uniform, beta, \
+     boundedpareto) or 'vbmqa' / 'fmriqa' for the neuroscience fits."
+  in
+  Arg.(value & opt string "lognormal" & info [ "dist"; "d" ] ~docv:"NAME" ~doc)
+
+let trace_arg =
+  let doc =
+    "CSV trace of execution times (one per line); used as an interpolated \
+     empirical distribution instead of $(b,--dist)."
+  in
+  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let fit_arg =
+  let doc =
+    "Fit a LogNormal to the $(b,--trace) CSV (as the paper does for Fig. 1) \
+     instead of interpolating it directly."
+  in
+  Arg.(value & flag & info [ "fit-lognormal" ] ~doc)
+
+let resolve_dist ?(hpc = false) name trace fit =
+  match trace with
+  | Some path ->
+      let data = Platform.Traces.load_csv path in
+      if fit then
+        Distributions.Fitting.(to_dist (lognormal_mle data))
+      else Distributions.Empirical.make ~name:("trace:" ^ path) data
+  | None -> (
+      match String.lowercase_ascii name with
+      (* The neuroscience traces are in seconds; the NeuroHPC cost
+         model (--hpc) is calibrated in hours, so convert when both
+         are combined. *)
+      | "vbmqa" ->
+          if hpc then Platform.Traces.(distribution_hours vbmqa)
+          else Platform.Traces.(distribution vbmqa)
+      | "fmriqa" ->
+          if hpc then Platform.Traces.(distribution_hours fmriqa)
+          else Platform.Traces.(distribution fmriqa)
+      | n -> (
+          match Distributions.Registry.find n with
+          | Some d -> d
+          | None ->
+              Printf.eprintf "unknown distribution %S; available: %s\n" name
+                (String.concat ", " (Distributions.Registry.names ()));
+              exit 2))
+
+let alpha_arg =
+  Arg.(value & opt float 1.0 & info [ "alpha" ] ~docv:"A"
+         ~doc:"Cost per unit of reserved time.")
+
+let beta_arg =
+  Arg.(value & opt float 0.0 & info [ "beta" ] ~docv:"B"
+         ~doc:"Cost per unit of used time.")
+
+let gamma_arg =
+  Arg.(value & opt float 0.0 & info [ "gamma" ] ~docv:"G"
+         ~doc:"Fixed cost per reservation.")
+
+let hpc_arg =
+  Arg.(value & flag
+       & info [ "hpc" ]
+           ~doc:
+             "Use the NeuroHPC cost model (alpha=0.95, beta=1, gamma=1.05 \
+              hours) instead of --alpha/--beta/--gamma.")
+
+let resolve_model hpc alpha beta gamma =
+  if hpc then Cost_model.neuro_hpc else Cost_model.make ~alpha ~beta ~gamma ()
+
+let strategy_arg =
+  let doc =
+    "Reservation strategy: brute-force, mean-by-mean, mean-stdev, \
+     mean-doubling, median-by-median, equal-time, equal-probability."
+  in
+  Arg.(value & opt string "brute-force" & info [ "strategy"; "s" ] ~docv:"NAME" ~doc)
+
+let m_arg =
+  Arg.(value & opt int 5000
+       & info [ "m" ] ~docv:"M" ~doc:"Brute-force grid size.")
+
+let n_mc_arg =
+  Arg.(value & opt int 1000
+       & info [ "n" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+
+let disc_n_arg =
+  Arg.(value & opt int 1000
+       & info [ "disc-n" ] ~docv:"K" ~doc:"Discretization sample count.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let resolve_strategy name ~m ~n ~disc_n ~seed =
+  match String.lowercase_ascii name with
+  | "brute-force" | "bruteforce" | "bf" -> Strategy.brute_force ~m ~n ~seed ()
+  | "mean-by-mean" -> Strategy.mean_by_mean
+  | "mean-stdev" -> Strategy.mean_stdev
+  | "mean-doubling" -> Strategy.mean_doubling
+  | "median-by-median" -> Strategy.median_by_median
+  | "equal-time" ->
+      Strategy.dp_discretized ~scheme:Stochastic_core.Discretize.Equal_time
+        ~n:disc_n ()
+  | "equal-probability" | "equal-prob" ->
+      Strategy.dp_discretized
+        ~scheme:Stochastic_core.Discretize.Equal_probability ~n:disc_n ()
+  | _ ->
+      Printf.eprintf "unknown strategy %S\n" name;
+      exit 2
+
+(* ---------------------------- commands ---------------------------- *)
+
+let sequence_cmd =
+  let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed count =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
+    let seq = s.Strategy.build model d in
+    Format.printf "distribution: %a@." Dist.pp d;
+    Format.printf "cost model:   %a@." Cost_model.pp model;
+    Format.printf "strategy:     %s@." s.Strategy.name;
+    Format.printf "sequence:     %a@." (Sequence.pp_prefix count) seq;
+    let exact = Expected_cost.exact model d seq in
+    Format.printf "expected cost: %.6f (normalized %.4f)@." exact
+      (Expected_cost.normalized model d ~cost:exact)
+  in
+  let count_arg =
+    Arg.(value & opt int 10
+         & info [ "count"; "k" ] ~docv:"K" ~doc:"Reservations to print.")
+  in
+  Cmd.v
+    (Cmd.info "sequence" ~doc:"Compute and print a reservation sequence.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
+      $ seed_arg $ count_arg)
+
+let evaluate_cmd =
+  let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
+    let rng = Randomness.Rng.create ~seed:(seed + 1) () in
+    let v = Strategy.evaluate ~n ~rng model d s in
+    Format.printf "%s on %s: normalized expected cost %.4f@." s.Strategy.name
+      d.Dist.name v
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Monte-Carlo-evaluate a strategy's normalized expected cost.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
+      $ seed_arg)
+
+let simulate_cmd =
+  let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed jobs =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
+    let seq = s.Strategy.build model d in
+    let rng = Randomness.Rng.create ~seed:(seed + 2) () in
+    let report = Platform.Simulator.run ~jobs model d seq rng in
+    Format.printf "%s on %s:@.%a@." s.Strategy.name d.Dist.name
+      Platform.Simulator.pp_report report
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1000
+         & info [ "jobs" ] ~docv:"J" ~doc:"Number of jobs to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Replay a strategy through the job-flow simulator.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
+      $ seed_arg $ jobs_arg)
+
+let bounds_cmd =
+  let run dist trace fit hpc alpha beta gamma =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let lo, hi = Stochastic_core.Bounds.search_interval model d in
+    Format.printf "distribution: %a@." Dist.pp d;
+    Format.printf "t1 search interval (Theorem 2): (%.6g, %.6g]@." lo hi;
+    if not (Dist.is_bounded d) then begin
+      Format.printf "A1 = %.6g@." (Stochastic_core.Bounds.a1 model d);
+      Format.printf "A2 = %.6g (upper bound on the optimal cost)@."
+        (Stochastic_core.Bounds.a2 model d)
+    end
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Theorem 2 search bounds.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg)
+
+let cloud_cmd =
+  let run dist trace fit ratio m n seed =
+    let d = resolve_dist dist trace fit in
+    let pricing =
+      Platform.Cloud.make_pricing ~reserved_hourly:1.0 ~on_demand_hourly:ratio
+    in
+    let s = Strategy.brute_force ~m ~n ~seed () in
+    let rng = Randomness.Rng.create ~seed:(seed + 3) () in
+    let normalized =
+      Strategy.evaluate ~n ~rng Cost_model.reservation_only d s
+    in
+    let v = Platform.Cloud.compare_strategies pricing d ~normalized_cost:normalized in
+    Format.printf "distribution: %a@." Dist.pp d;
+    Format.printf "brute-force normalized cost: %.4f, OD/RI price ratio: %.2f@."
+      normalized ratio;
+    Format.printf
+      "reserved cost/job: %.4f, on-demand cost/job: %.4f, advantage: %.2fx@."
+      v.Platform.Cloud.reserved_total v.Platform.Cloud.on_demand_total
+      v.Platform.Cloud.advantage;
+    Format.printf "verdict: use %s@."
+      (if v.Platform.Cloud.use_reserved then "RESERVED instances"
+       else "ON-DEMAND")
+  in
+  let ratio_arg =
+    Arg.(value & opt float 4.0
+         & info [ "price-ratio" ] ~docv:"R"
+             ~doc:"On-demand / reserved price ratio (AWS-like default 4).")
+  in
+  Cmd.v
+    (Cmd.info "cloud"
+       ~doc:"Decide Reserved Instances vs On-Demand for a workload.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ ratio_arg $ m_arg $ n_mc_arg
+      $ seed_arg)
+
+(* Experiment commands share a tiny driver. *)
+
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Reduced parameters (fast smoke run).")
+
+let experiment_cmd name doc run =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun quick ->
+          let cfg =
+            if quick then Experiments.Config.quick else Experiments.Config.paper
+          in
+          print_string (run cfg))
+      $ quick_arg)
+
+let table2_cmd =
+  experiment_cmd "table2" "Reproduce Table 2." (fun cfg ->
+      Experiments.Table2.(to_string (run ~cfg ())))
+
+let table3_cmd =
+  experiment_cmd "table3" "Reproduce Table 3." (fun cfg ->
+      Experiments.Table3.(to_string (run ~cfg ())))
+
+let table4_cmd =
+  experiment_cmd "table4" "Reproduce Table 4." (fun cfg ->
+      Experiments.Table4.(to_string (run ~cfg ())))
+
+let fig1_cmd =
+  experiment_cmd "fig1" "Reproduce Figure 1." (fun cfg ->
+      Experiments.Fig1.(to_string (run ~cfg ())))
+
+let fig2_cmd =
+  experiment_cmd "fig2" "Reproduce Figure 2." (fun cfg ->
+      Experiments.Fig2.(to_string (run ~cfg ())))
+
+let fig3_cmd =
+  experiment_cmd "fig3" "Reproduce Figure 3." (fun cfg ->
+      Experiments.Fig3.(to_string (run ~cfg ())))
+
+let fig4_cmd =
+  experiment_cmd "fig4" "Reproduce Figure 4." (fun cfg ->
+      Experiments.Fig4.(to_string (run ~cfg ())))
+
+let s1_cmd =
+  experiment_cmd "s1" "Compute the Exp(1) optimum of Sect. 3.5." (fun cfg ->
+      Experiments.Exp_s1.(to_string (run ~cfg ())))
+
+let table2x_cmd =
+  experiment_cmd "table2x"
+    "Extended Table 2 over the beyond-the-paper distributions." (fun cfg ->
+      Experiments.Table2x.(to_string (run ~cfg ())))
+
+let ablation_bf_cmd =
+  experiment_cmd "ablation-bf"
+    "Ablation: brute-force resolution and MC selection optimism." (fun cfg ->
+      Experiments.Ablation_bf.(to_string (run ~cfg ())))
+
+let ablation_eps_cmd =
+  experiment_cmd "ablation-eps"
+    "Ablation: truncation quantile for the discretization schemes."
+    (fun cfg -> Experiments.Ablation_eps.(to_string (run ~cfg ())))
+
+let robustness_cmd =
+  experiment_cmd "robustness"
+    "Ablation: strategies computed from finite-trace fits vs the oracle."
+    (fun cfg -> Experiments.Robustness.(to_string (run ~cfg ())))
+
+let trace_vs_fit_cmd =
+  experiment_cmd "trace-vs-fit"
+    "Ablation: interpolated-trace vs LogNormal-fit strategies." (fun cfg ->
+      Experiments.Trace_vs_fit.(to_string (run ~cfg ())))
+
+let main =
+  let doc = "Reservation strategies for stochastic jobs (IPDPS 2019)" in
+  Cmd.group
+    (Cmd.info "stochastic-reservations" ~version:"1.0.0" ~doc)
+    [
+      sequence_cmd;
+      evaluate_cmd;
+      simulate_cmd;
+      bounds_cmd;
+      cloud_cmd;
+      table2_cmd;
+      table3_cmd;
+      table4_cmd;
+      fig1_cmd;
+      fig2_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      s1_cmd;
+      table2x_cmd;
+      ablation_bf_cmd;
+      ablation_eps_cmd;
+      robustness_cmd;
+      trace_vs_fit_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/checkpoint_tradeoff.ml: Distributions Format List Stochastic_core String

@@ -1,0 +1,1 @@
+examples/cloud_reservation.ml: Distributions Format List Platform Randomness Stochastic_core String

@@ -1,0 +1,1 @@
+examples/convex_pricing.ml: Distributions Format List Stochastic_core

@@ -1,0 +1,1 @@
+examples/convex_pricing.mli:

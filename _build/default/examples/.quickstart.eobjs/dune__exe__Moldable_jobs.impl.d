@@ -1,0 +1,1 @@
+examples/moldable_jobs.ml: Array Distributions Float Format List Stochastic_core String

@@ -1,0 +1,1 @@
+examples/moldable_jobs.mli:

@@ -1,0 +1,1 @@
+examples/neuro_hpc.ml: Array Distributions Filename Format List Numerics Platform Randomness Stochastic_core Sys

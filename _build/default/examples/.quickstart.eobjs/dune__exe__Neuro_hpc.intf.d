@@ -1,0 +1,1 @@
+examples/neuro_hpc.mli:

@@ -1,0 +1,1 @@
+examples/online_learning.ml: Array Distributions Format List Platform Randomness Stochastic_core String

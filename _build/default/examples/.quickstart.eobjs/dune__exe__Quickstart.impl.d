@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Distributions Format Randomness Stochastic_core

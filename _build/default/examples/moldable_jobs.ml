@@ -1,0 +1,49 @@
+(* Moldable jobs: choosing a (processors, time) reservation shape —
+   the paper's first future-work item.
+
+   A neuroscience-style job has random sequential work; on p
+   processors it runs Amdahl-fast but bills for p times the reserved
+   area. This example sweeps the parallel fraction and shows how the
+   optimal processor count and the optimal first reservation move, on
+   top of the unchanged STOCHASTIC machinery.
+
+   Run with: dune exec examples/moldable_jobs.exe *)
+
+module M = Stochastic_core.Moldable
+module C = Stochastic_core.Cost_model
+
+let () =
+  (* Work in hours; wall-clock waiting is expensive (beta) relative to
+     the area rate (alpha): a turnaround-focused user on a cheap
+     machine. *)
+  let work = Distributions.Lognormal.of_moments ~mean:2.0 ~std:0.8 in
+  let cost = C.make ~alpha:0.05 ~beta:1.0 ~gamma:0.1 () in
+  Format.printf "Sequential work: %a@." Distributions.Dist.pp work;
+  Format.printf "Cost: area rate %.2f, wall-clock rate %.2f, %.2f/submission@.@."
+    0.05 1.0 0.1;
+  Format.printf "%-22s %8s %10s %12s %14s@." "speedup model" "best p" "t1 (h)"
+    "E[cost]" "vs serial";
+  Format.printf "%s@." (String.make 70 '-');
+  let serial_cost = ref nan in
+  List.iter
+    (fun (label, s) ->
+      let r = M.optimize ~max_procs:64 ~m:500 s cost work in
+      if Float.is_nan !serial_cost then begin
+        let _, c1 = r.M.per_procs.(0) in
+        serial_cost := c1
+      end;
+      Format.printf "%-22s %8d %10.3f %12.4f %13.1f%%@." label r.M.procs
+        r.M.t1 r.M.expected_cost
+        (100.0 *. (1.0 -. (r.M.expected_cost /. !serial_cost))))
+    [
+      ("serial (f=0)", M.Amdahl 0.0);
+      ("Amdahl f=0.50", M.Amdahl 0.5);
+      ("Amdahl f=0.90", M.Amdahl 0.9);
+      ("Amdahl f=0.99", M.Amdahl 0.99);
+      ("power p^0.7", M.Power 0.7);
+      ("linear", M.Linear);
+    ];
+  Format.printf
+    "@.More parallel fraction -> more processors pay off, until the serial \
+     remainder and the area bill cap the gain;@.a perfectly parallel job \
+     takes everything it can get.@."

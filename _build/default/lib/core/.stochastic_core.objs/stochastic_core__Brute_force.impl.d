@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Bounds Distributions Expected_cost Option Randomness Recurrence Sequence

@@ -1,0 +1,1 @@
+lib/core/brute_force.mli: Cost_model Distributions Randomness Sequence

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Cost_model Distributions Float Numerics Seq Sequence

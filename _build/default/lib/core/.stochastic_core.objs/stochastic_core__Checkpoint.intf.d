@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Cost_model Distributions Seq Sequence

@@ -1,0 +1,1 @@
+lib/core/convex_cost.ml: Array Cost_model Distributions Float Numerics Seq Sequence

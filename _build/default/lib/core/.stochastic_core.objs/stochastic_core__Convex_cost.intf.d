@@ -1,0 +1,1 @@
+lib/core/convex_cost.mli: Cost_model Distributions Sequence

@@ -1,0 +1,1 @@
+lib/core/discretize.ml: Array Distributions Float

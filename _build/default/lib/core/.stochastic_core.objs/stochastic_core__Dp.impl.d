@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Cost_model Distributions List Numerics Sequence

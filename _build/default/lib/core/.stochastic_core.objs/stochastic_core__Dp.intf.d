@@ -1,0 +1,1 @@
+lib/core/dp.mli: Cost_model Distributions Sequence

@@ -1,0 +1,1 @@
+lib/core/expected_cost.ml: Array Cost_model Distributions Numerics Seq Sequence

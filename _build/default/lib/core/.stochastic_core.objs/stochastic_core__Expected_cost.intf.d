@@ -1,0 +1,1 @@
+lib/core/expected_cost.mli: Cost_model Distributions Randomness Sequence

@@ -1,0 +1,1 @@
+lib/core/exponential_opt.ml: Cost_model Distributions Expected_cost Float Numerics Recurrence Seq Sequence

@@ -1,0 +1,1 @@
+lib/core/exponential_opt.mli: Sequence

@@ -1,0 +1,1 @@
+lib/core/moldable.ml: Array Brute_force Cost_model Distributions

@@ -1,0 +1,1 @@
+lib/core/moldable.mli: Cost_model Distributions

@@ -1,0 +1,1 @@
+lib/core/recurrence.ml: Array Cost_model Distributions Float List Seq Sequence

@@ -1,0 +1,1 @@
+lib/core/recurrence.mli: Cost_model Distributions Sequence

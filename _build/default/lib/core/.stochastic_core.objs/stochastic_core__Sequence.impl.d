@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Array Cost_model Distributions Float Format List Numerics Printf Seq String

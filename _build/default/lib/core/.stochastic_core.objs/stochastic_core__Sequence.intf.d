@@ -1,0 +1,1 @@
+lib/core/sequence.mli: Cost_model Distributions Format Seq

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Brute_force Cost_model Discretize Distributions Dp Expected_cost Heuristics Printf Randomness Sequence

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Cost_model Discretize Distributions Randomness Sequence

@@ -1,0 +1,25 @@
+module Dist = Distributions.Dist
+
+let second_moment d =
+  let v = d.Dist.variance and m = d.Dist.mean in
+  v +. (m *. m)
+
+let a1 m d =
+  let ex2 = second_moment d in
+  if not (Float.is_finite ex2) then
+    invalid_arg "Bounds.a1: requires a finite second moment";
+  let a = Dist.lower d in
+  let mean = d.Dist.mean in
+  let open Cost_model in
+  mean +. 1.0
+  +. ((m.alpha +. m.beta) /. (2.0 *. m.alpha) *. (ex2 -. (a *. a)))
+  +. ((m.alpha +. m.beta +. m.gamma) /. m.alpha *. (mean -. a))
+
+let a2 m d =
+  let open Cost_model in
+  (m.beta *. d.Dist.mean) +. (m.alpha *. a1 m d) +. m.gamma
+
+let search_interval m d =
+  match d.Dist.support with
+  | Dist.Bounded (a, b) -> (a, b)
+  | Dist.Unbounded a -> (a, a1 m d)

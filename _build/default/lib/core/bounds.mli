@@ -1,0 +1,24 @@
+(** Theorem 2 bounds.
+
+    For a distribution with infinite support [[a, inf)] and finite
+    second moment, Theorem 2 shows the first reservation [t1] of an
+    optimal sequence satisfies [t1 <= A1], and the optimal expected
+    cost is at most [A2 = beta E(X) + alpha A1 + gamma] — obtained by
+    exhibiting the unit-step sequence [t_i = a + i]. These bounds
+    delimit the BRUTE-FORCE search interval. *)
+
+val a1 : Cost_model.t -> Distributions.Dist.t -> float
+(** [a1 m d] is Eq. (6):
+    [E(X) + 1 + (alpha+beta)/(2 alpha) (E(X^2) - a^2)
+     + (alpha+beta+gamma)/alpha (E(X) - a)].
+    @raise Invalid_argument if the distribution's variance (hence
+    second moment) is not finite. *)
+
+val a2 : Cost_model.t -> Distributions.Dist.t -> float
+(** [a2 m d] is Eq. (7), the upper bound on the optimal expected
+    cost. *)
+
+val search_interval : Cost_model.t -> Distributions.Dist.t -> float * float
+(** [search_interval m d] is the interval scanned for the first
+    reservation: [(a, b)] for a bounded distribution and [(a, A1)]
+    otherwise (Sect. 4.1). *)

@@ -1,0 +1,16 @@
+type t = { alpha : float; beta : float; gamma : float }
+
+let make ?(alpha = 1.0) ?(beta = 0.0) ?(gamma = 0.0) () =
+  if not (alpha > 0.0) then invalid_arg "Cost_model.make: alpha must be > 0";
+  if beta < 0.0 then invalid_arg "Cost_model.make: beta must be >= 0";
+  if gamma < 0.0 then invalid_arg "Cost_model.make: gamma must be >= 0";
+  { alpha; beta; gamma }
+
+let reservation_only = make ()
+let neuro_hpc = make ~alpha:0.95 ~beta:1.0 ~gamma:1.05 ()
+
+let reservation_cost m ~reserved ~actual =
+  (m.alpha *. reserved) +. (m.beta *. Float.min reserved actual) +. m.gamma
+
+let pp fmt m =
+  Format.fprintf fmt "alpha=%g beta=%g gamma=%g" m.alpha m.beta m.gamma

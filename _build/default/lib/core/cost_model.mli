@@ -1,0 +1,37 @@
+(** The affine reservation cost model of Eq. (1).
+
+    A single reservation of length [t1] for a job whose actual
+    execution time is [t] costs
+
+    {[ alpha * t1 + beta * min t1 t + gamma ]}
+
+    where [alpha > 0] prices the {e requested} time (cloud reservation
+    price, or the slope of the HPC wait-time function), [beta >= 0]
+    prices the time {e actually used}, and [gamma >= 0] is a fixed
+    per-reservation overhead (start-up cost, or the intercept of the
+    wait-time function). *)
+
+type t = private { alpha : float; beta : float; gamma : float }
+
+val make : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> t
+(** [make ()] is the RESERVATIONONLY model; keyword arguments override
+    individual coefficients (defaults [alpha = 1.], [beta = 0.],
+    [gamma = 0.]).
+    @raise Invalid_argument unless [alpha > 0.], [beta >= 0.] and
+    [gamma >= 0.]. *)
+
+val reservation_only : t
+(** [alpha = 1, beta = gamma = 0]: the AWS Reserved-Instance pricing of
+    Sect. 5.2, where the user pays exactly what is requested. *)
+
+val neuro_hpc : t
+(** [alpha = 0.95, beta = 1.0, gamma = 1.05] (hours): the Sect. 5.3
+    model — affine queue wait time fitted on Intrepid logs plus the
+    actual execution time. *)
+
+val reservation_cost : t -> reserved:float -> actual:float -> float
+(** [reservation_cost m ~reserved ~actual] is Eq. (1) for one
+    (possibly failed) reservation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [alpha], [beta], [gamma] on one line. *)

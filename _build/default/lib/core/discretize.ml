@@ -1,0 +1,39 @@
+module Dist = Distributions.Dist
+module Discrete = Distributions.Discrete
+
+type scheme = Equal_probability | Equal_time
+
+let scheme_name = function
+  | Equal_probability -> "Equal-probability"
+  | Equal_time -> "Equal-time"
+
+let truncation_point ?(eps = 1e-7) d =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Discretize.truncation_point: eps must be in (0, 1)";
+  match d.Dist.support with
+  | Dist.Bounded (_, b) -> b
+  | Dist.Unbounded _ -> d.Dist.quantile (1.0 -. eps)
+
+let run ?(eps = 1e-7) scheme ~n d =
+  if n <= 0 then invalid_arg "Discretize.run: n must be positive";
+  let b = truncation_point ~eps d in
+  let a = Dist.lower d in
+  let fb = d.Dist.cdf b in
+  let pairs =
+    match scheme with
+    | Equal_probability ->
+        let fi = fb /. float_of_int n in
+        Array.init n (fun i ->
+            let v = d.Dist.quantile (float_of_int (i + 1) *. fi) in
+            (v, fi))
+    | Equal_time ->
+        let step = (b -. a) /. float_of_int n in
+        let prev_cdf = ref (d.Dist.cdf a) in
+        Array.init n (fun i ->
+            let v = a +. (float_of_int (i + 1) *. step) in
+            let c = d.Dist.cdf v in
+            let p = c -. !prev_cdf in
+            prev_cdf := c;
+            (v, Float.max p 0.0))
+  in
+  Discrete.make pairs

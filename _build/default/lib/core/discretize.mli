@@ -1,0 +1,31 @@
+(** Truncation and discretization of continuous distributions
+    (Sect. 4.2.1).
+
+    A continuous distribution is reduced to [n] discrete support points so
+    that the dynamic program of Theorem 5 can compute an optimal
+    sequence for the discrete approximation. Unbounded distributions
+    are first truncated at the quantile [b = Q(1 - eps)]; the
+    probabilities of the resulting discrete law then sum to [1 - eps]
+    (they are renormalised inside the DP). *)
+
+type scheme =
+  | Equal_probability
+      (** [v_i = Q(i F(b) / n)], [f_i = F(b) / n]: every discrete
+          execution time is equally likely. *)
+  | Equal_time
+      (** [v_i = a + i (b - a)/n], [f_i = F(v_i) - F(v_(i-1))]: the
+          discrete execution times are equally spaced on [[a, b]]. *)
+
+val scheme_name : scheme -> string
+(** ["Equal-probability"] or ["Equal-time"]. *)
+
+val truncation_point : ?eps:float -> Distributions.Dist.t -> float
+(** [truncation_point d] is the upper bound used for discretization:
+    the support's upper bound if finite, else [Q(1 - eps)] (default
+    [eps = 1e-7], the paper's setting). *)
+
+val run :
+  ?eps:float -> scheme -> n:int -> Distributions.Dist.t -> Distributions.Discrete.t
+(** [run scheme ~n d] discretizes [d] into at most [n] support points
+    (coincident quantiles are merged).
+    @raise Invalid_argument if [n <= 0] or [eps] outside [(0, 1)]. *)

@@ -1,0 +1,88 @@
+module Discrete = Distributions.Discrete
+module Dist = Distributions.Dist
+
+type solution = { reservations : float array; expected_cost : float }
+
+let solve m d =
+  let d = Discrete.normalize d in
+  let v = d.Discrete.values and f = d.Discrete.probs in
+  let n = Array.length v in
+  let open Cost_model in
+  (* Suffix sums: s.(i) = sum_(k>=i) f_k, mv.(i) = sum_(k>=i) f_k v_k,
+     with index n meaning the empty suffix. *)
+  let s = Array.make (n + 1) 0.0 in
+  let mv = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    s.(i) <- s.(i + 1) +. f.(i);
+    mv.(i) <- mv.(i + 1) +. (f.(i) *. v.(i))
+  done;
+  (* w.(i) = S_i * E*_i (unconditional weight of the optimal suffix
+     policy), w.(n) = 0. choice.(i) = arg-min j. *)
+  let w = Array.make (n + 1) 0.0 in
+  let choice = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let best = ref infinity and best_j = ref i in
+    for j = i to n - 1 do
+      let cand =
+        (((m.alpha *. v.(j)) +. m.gamma) *. s.(i))
+        +. (m.beta *. (mv.(i) -. mv.(j + 1)))
+        +. (m.beta *. v.(j) *. s.(j + 1))
+        +. w.(j + 1)
+      in
+      if cand < !best then begin
+        best := cand;
+        best_j := j
+      end
+    done;
+    w.(i) <- !best;
+    choice.(i) <- !best_j
+  done;
+  (* Backtrack: from state 0, reserve v_(choice.(0)), then continue
+     from the next uncovered support point. *)
+  let rec collect i acc =
+    if i >= n then List.rev acc
+    else begin
+      let j = choice.(i) in
+      collect (j + 1) (v.(j) :: acc)
+    end
+  in
+  { reservations = Array.of_list (collect 0 []); expected_cost = w.(0) }
+
+let sequence_for m d discrete =
+  let sol = solve m discrete in
+  Sequence.sanitize ~support:d.Dist.support (Array.to_seq sol.reservations)
+
+let expected_cost_brute m d reservations =
+  let d = Discrete.normalize d in
+  let v = d.Discrete.values and f = d.Discrete.probs in
+  let n = Array.length v in
+  let k = Array.length reservations in
+  if k = 0 then invalid_arg "Dp.expected_cost_brute: empty sequence";
+  for i = 1 to k - 1 do
+    if reservations.(i) <= reservations.(i - 1) then
+      invalid_arg "Dp.expected_cost_brute: sequence must be increasing"
+  done;
+  if reservations.(k - 1) < v.(n - 1) then
+    invalid_arg "Dp.expected_cost_brute: last reservation must cover v_n";
+  let open Cost_model in
+  let acc = Numerics.Kahan.create () in
+  for i = 0 to n - 1 do
+    (* Cost of running a job of duration v_i through the sequence. *)
+    let cost = ref 0.0 in
+    let j = ref 0 in
+    while reservations.(!j) < v.(i) do
+      cost :=
+        !cost
+        +. (m.alpha *. reservations.(!j))
+        +. (m.beta *. reservations.(!j))
+        +. m.gamma;
+      incr j
+    done;
+    cost :=
+      !cost
+      +. (m.alpha *. reservations.(!j))
+      +. (m.beta *. v.(i))
+      +. m.gamma;
+    Numerics.Kahan.add acc (f.(i) *. !cost)
+  done;
+  Numerics.Kahan.sum acc

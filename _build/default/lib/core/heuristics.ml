@@ -1,0 +1,36 @@
+module Dist = Distributions.Dist
+
+let mean_by_mean d =
+  let raw =
+    let rec step prev () = Seq.Cons (prev, step (d.Dist.conditional_mean prev)) in
+    step d.Dist.mean
+  in
+  Sequence.sanitize ~support:d.Dist.support raw
+
+let mean_stdev d =
+  let mu = d.Dist.mean and sigma = Dist.std d in
+  let raw i = mu +. (float_of_int i *. sigma) in
+  Sequence.sanitize ~support:d.Dist.support (Seq.ints 0 |> Seq.map raw)
+
+let mean_doubling d =
+  let mu = d.Dist.mean in
+  let raw =
+    let rec step v () = Seq.Cons (v, step (2.0 *. v)) in
+    step mu
+  in
+  Sequence.sanitize ~support:d.Dist.support raw
+
+let quantile_ladder ~q d =
+  if not (q > 0.0 && q < 1.0) then
+    invalid_arg "Heuristics.quantile_ladder: q must be in (0, 1)";
+  (* t_i = Q(1 - q^i); once q^i underflows below the quantile
+     function's resolution, sanitize falls back to doubling. *)
+  let raw =
+    Seq.ints 1
+    |> Seq.map (fun i ->
+           let tail = q ** float_of_int i in
+           if tail <= 0.0 then nan else d.Dist.quantile (1.0 -. tail))
+  in
+  Sequence.sanitize ~support:d.Dist.support raw
+
+let median_by_median d = quantile_ladder ~q:0.5 d

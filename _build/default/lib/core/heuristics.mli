@@ -1,0 +1,31 @@
+(** The simple reservation heuristics of Sect. 4.3.
+
+    These do not explore the structure of the optimal solution; they
+    generate sequences from standard summary measures of the
+    distribution (mean, standard deviation, quantiles). Each returns a
+    sanitized {!Sequence.t} (strictly increasing, divergent for
+    unbounded support, ending with the support's upper bound
+    otherwise). *)
+
+val mean_by_mean : Distributions.Dist.t -> Sequence.t
+(** MEAN-BY-MEAN: [t1 = E(X)], then
+    [t_i = E(X | X > t_(i-1))] — the conditional expectation of the
+    remaining distribution, via the Appendix B closed forms. *)
+
+val mean_stdev : Distributions.Dist.t -> Sequence.t
+(** MEAN-STDEV: [t_i = mu + (i-1) sigma]. *)
+
+val mean_doubling : Distributions.Dist.t -> Sequence.t
+(** MEAN-DOUBLING: [t_i = 2^(i-1) mu]. *)
+
+val median_by_median : Distributions.Dist.t -> Sequence.t
+(** MEDIAN-BY-MEDIAN: [t_i = Q(1 - 1/2^i)] — the median, then the
+    median of the remaining upper tail, and so on. *)
+
+val quantile_ladder : q:float -> Distributions.Dist.t -> Sequence.t
+(** [quantile_ladder ~q d] generalises MEDIAN-BY-MEDIAN to an
+    arbitrary tail-halving ratio: [t_i = Q(1 - q^i)] for [q] in
+    [(0, 1)] — each reservation leaves a fraction [q] of the current
+    tail uncovered. [q = 0.5] recovers {!median_by_median}; smaller
+    [q] is more aggressive (longer first reservations).
+    @raise Invalid_argument if [q] outside [(0, 1)]. *)

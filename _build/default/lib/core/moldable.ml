@@ -1,0 +1,55 @@
+module Dist = Distributions.Dist
+
+type speedup = Linear | Amdahl of float | Power of float
+
+let speedup_factor s p =
+  if p < 1 then invalid_arg "Moldable.speedup_factor: p must be >= 1";
+  let pf = float_of_int p in
+  match s with
+  | Linear -> pf
+  | Amdahl f ->
+      if f < 0.0 || f > 1.0 then
+        invalid_arg "Moldable.speedup_factor: Amdahl fraction in [0, 1]";
+      1.0 /. (1.0 -. f +. (f /. pf))
+  | Power e ->
+      if e < 0.0 || e > 1.0 then
+        invalid_arg "Moldable.speedup_factor: Power exponent in [0, 1]";
+      pf ** e
+
+let runtime_distribution s ~procs d =
+  Dist.scale (1.0 /. speedup_factor s procs) d
+
+let cost_model_for m ~procs =
+  let open Cost_model in
+  make
+    ~alpha:(m.alpha *. float_of_int procs)
+    ~beta:m.beta ~gamma:m.gamma ()
+
+type result = {
+  procs : int;
+  t1 : float;
+  expected_cost : float;
+  per_procs : (int * float) array;
+}
+
+let optimize ?(max_procs = 64) ?(m = 800) s cost d =
+  if max_procs < 1 then invalid_arg "Moldable.optimize: max_procs must be >= 1";
+  let evaluate p =
+    let d_p = runtime_distribution s ~procs:p d in
+    let cost_p = cost_model_for cost ~procs:p in
+    let r = Brute_force.search ~m ~evaluator:Brute_force.Exact cost_p d_p in
+    (r.Brute_force.t1, r.Brute_force.cost)
+  in
+  let per_procs =
+    Array.init max_procs (fun i ->
+        let p = i + 1 in
+        let _, c = evaluate p in
+        (p, c))
+  in
+  let best_p, best_cost =
+    Array.fold_left
+      (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
+      (0, infinity) per_procs
+  in
+  let t1, _ = evaluate best_p in
+  { procs = best_p; t1; expected_cost = best_cost; per_procs }

@@ -1,0 +1,56 @@
+module Dist = Distributions.Dist
+
+let next m d ~t_prev2 ~t_prev1 =
+  let open Cost_model in
+  let f1 = d.Dist.pdf t_prev1 in
+  let sf2 = Dist.sf d t_prev2 in
+  let sf1 = Dist.sf d t_prev1 in
+  (sf2 /. f1)
+  +. (m.beta /. m.alpha *. ((sf1 /. f1) -. t_prev1))
+  -. (m.gamma /. m.alpha)
+
+let generate ?(coverage = 1.0 -. 1e-9) ?(max_len = 1000) m d ~t1 =
+  let a = Dist.lower d and b = Dist.upper d in
+  if not (Float.is_finite t1) || t1 <= a || t1 > b then
+    Error "t1 outside the distribution support"
+  else begin
+    let out = ref [ t1 ] in
+    let len = ref 1 in
+    let t_prev2 = ref 0.0 and t_prev1 = ref t1 in
+    let status = ref `Running in
+    if d.Dist.cdf t1 >= coverage then status := `Done;
+    if t1 >= b then status := `Done;
+    while !status = `Running do
+      if !len >= max_len then status := `Too_long
+      else begin
+        let t = next m d ~t_prev2:!t_prev2 ~t_prev1:!t_prev1 in
+        if not (Float.is_finite t) then status := `Not_finite
+        else if t <= !t_prev1 then status := `Not_increasing
+        else begin
+          let t = if t >= b then b else t in
+          out := t :: !out;
+          incr len;
+          t_prev2 := !t_prev1;
+          t_prev1 := t;
+          if t >= b || d.Dist.cdf t >= coverage then status := `Done
+        end
+      end
+    done;
+    match !status with
+    | `Done -> Ok (Array.of_list (List.rev !out))
+    | `Too_long -> Error "sequence did not reach coverage within max_len"
+    | `Not_finite -> Error "recurrence produced a non-finite value"
+    | `Not_increasing -> Error "recurrence is not strictly increasing"
+    | `Running -> assert false
+  end
+
+let sequence m d ~t1 =
+  let raw =
+    let rec step (t_prev2, t_prev1) () =
+      let t = next m d ~t_prev2 ~t_prev1 in
+      (* sanitize takes over when t is unusable. *)
+      Seq.Cons (t, step (t_prev1, t))
+    in
+    fun () -> Seq.Cons (t1, step (0.0, t1))
+  in
+  Sequence.sanitize ~support:d.Dist.support raw

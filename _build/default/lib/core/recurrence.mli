@@ -1,0 +1,45 @@
+(** The optimal-sequence recurrence of Theorem 3 / Proposition 1.
+
+    An optimal sequence for STOCHASTIC satisfies, for [i >= 2]
+    (Eq. (11), with [t_0 = 0]):
+
+    {[ t_i = (1 - F t_(i-2)) / f t_(i-1)
+             + beta/alpha * ((1 - F t_(i-1)) / f t_(i-1) - t_(i-1))
+             - gamma/alpha ]}
+
+    so the whole sequence is determined by the first reservation [t1].
+    Not every [t1] yields a valid (strictly increasing) sequence — the
+    recurrence only guarantees monotonicity at the optimal [t1^o] —
+    and BRUTE-FORCE discards candidates that break it
+    (Sect. 5.2, Fig. 3). *)
+
+val next :
+  Cost_model.t -> Distributions.Dist.t -> t_prev2:float -> t_prev1:float -> float
+(** [next m d ~t_prev2 ~t_prev1] is Eq. (11) for [t_i] given
+    [t_(i-2)] and [t_(i-1)]. May return a non-finite or non-increasing
+    value when [t_prev1] is not on an optimal trajectory. *)
+
+val generate :
+  ?coverage:float ->
+  ?max_len:int ->
+  Cost_model.t ->
+  Distributions.Dist.t ->
+  t1:float ->
+  (float array, string) result
+(** [generate m d ~t1] materialises the strictly increasing prefix of
+    the recurrence sequence starting at [t1], stopping once
+    [F t_i >= coverage] (default [1 - 1e-9]) or once the support's
+    upper bound is reached (which is then included as the final
+    element). Returns [Error reason] if the recurrence produces a
+    non-finite or non-increasing value before that point, if [t1] lies
+    outside the support, or if [max_len] (default [1000]) elements do
+    not suffice. *)
+
+val sequence :
+  Cost_model.t -> Distributions.Dist.t -> t1:float -> Sequence.t
+(** [sequence m d ~t1] is the infinite (or, for bounded support,
+    [b]-terminated) sanitized reservation sequence driven by the
+    recurrence: beyond the point where the raw recurrence stops
+    increasing — which can only happen off the optimal trajectory or
+    deep in the tail — it falls back to doubling (see
+    {!Sequence.sanitize}). *)

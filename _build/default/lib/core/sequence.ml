@@ -1,0 +1,160 @@
+type t = float Seq.t
+
+exception Not_covered of float
+
+let validate_increasing ts =
+  let prev = ref 0.0 in
+  List.iter
+    (fun x ->
+      if not (Float.is_finite x && x > !prev) then
+        invalid_arg
+          "Sequence.of_list: reservations must be positive, finite and \
+           strictly increasing";
+      prev := x)
+    ts
+
+let of_list ts =
+  validate_increasing ts;
+  List.to_seq ts
+
+let of_array ts =
+  let ts = Array.copy ts in
+  validate_increasing (Array.to_list ts);
+  Array.to_seq ts
+
+let take n s = List.of_seq (Seq.take n s)
+
+let prefix_until ?(limit = 100_000) stop s =
+  let out = ref [] in
+  let count = ref 0 in
+  let rec go s =
+    if !count >= limit then ()
+    else
+      match Seq.uncons s with
+      | None -> ()
+      | Some (x, rest) ->
+          incr count;
+          out := x :: !out;
+          if not (stop x) then go rest
+  in
+  go s;
+  Array.of_list (List.rev !out)
+
+let is_strictly_increasing n s =
+  let prev = ref 0.0 in
+  let ok = ref true in
+  Seq.iter
+    (fun x ->
+      if x <= !prev then ok := false;
+      prev := x)
+    (Seq.take n s);
+  !ok
+
+let sanitize ~support s =
+  let double prev = if prev > 0.0 then 2.0 *. prev else 1.0 in
+  match support with
+  | Distributions.Dist.Unbounded _ ->
+      (* State: (last emitted value, remaining raw sequence or None once
+         we have switched to pure doubling). *)
+      let rec step (prev, raw) () =
+        match raw with
+        | None ->
+            let v = double prev in
+            Seq.Cons (v, step (v, None))
+        | Some raw -> (
+            match Seq.uncons raw with
+            | None ->
+                let v = double prev in
+                Seq.Cons (v, step (v, None))
+            | Some (x, rest) ->
+                if Float.is_finite x && x > prev && x > 0.0 then
+                  Seq.Cons (x, step (x, Some rest))
+                else begin
+                  (* Raw value unusable: abandon the raw sequence. *)
+                  let v = double prev in
+                  Seq.Cons (v, step (v, None))
+                end)
+      in
+      step (0.0, Some s)
+  | Distributions.Dist.Bounded (a, b) ->
+      let near_b = b -. (1e-9 *. (b -. a)) in
+      let rec step (prev, raw) () =
+        if prev >= b then Seq.Nil
+        else
+          match raw with
+          | None -> Seq.Cons (b, step (b, None))
+          | Some raw -> (
+              match Seq.uncons raw with
+              | None -> Seq.Cons (b, step (b, None))
+              | Some (x, rest) ->
+                  if not (Float.is_finite x && x > prev && x > 0.0) then
+                    (* Unusable value: finish with the upper bound. *)
+                    Seq.Cons (b, step (b, None))
+                  else if x >= near_b then Seq.Cons (b, step (b, None))
+                  else Seq.Cons (x, step (x, Some rest)))
+      in
+      step (0.0, Some s)
+
+let cost_of_run ?(max_steps = 100_000) m s t =
+  let prefix = Numerics.Kahan.create () in
+  let rec go k s =
+    if k > max_steps then raise (Not_covered t);
+    match Seq.uncons s with
+    | None -> raise (Not_covered t)
+    | Some (tk, rest) ->
+        if t <= tk then begin
+          let open Cost_model in
+          ( k,
+            Numerics.Kahan.sum prefix
+            +. (m.alpha *. tk)
+            +. (m.beta *. t)
+            +. m.gamma )
+        end
+        else begin
+          let open Cost_model in
+          Numerics.Kahan.add prefix
+            ((m.alpha *. tk) +. (m.beta *. tk) +. m.gamma);
+          go (k + 1) rest
+        end
+  in
+  go 1 s
+
+let mean_cost_sorted ?(max_steps = 100_000) m s samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Sequence.mean_cost_sorted: empty sample";
+  let open Cost_model in
+  let acc = Numerics.Kahan.create () in
+  (* comp tracks the prefix sum of failed-reservation costs exactly. *)
+  let comp = Numerics.Kahan.create () in
+  let idx = ref 0 in
+  let steps = ref 0 in
+  let rec go s =
+    if !idx >= n then ()
+    else begin
+      incr steps;
+      if !steps > max_steps then raise (Not_covered samples.(!idx));
+      match Seq.uncons s with
+      | None -> raise (Not_covered samples.(!idx))
+      | Some (tk, rest) ->
+          let p = Numerics.Kahan.sum comp in
+          while !idx < n && samples.(!idx) <= tk do
+            Numerics.Kahan.add acc
+              (p +. (m.alpha *. tk) +. (m.beta *. samples.(!idx)) +. m.gamma);
+            incr idx
+          done;
+          if !idx < n then begin
+            Numerics.Kahan.add comp
+              ((m.alpha *. tk) +. (m.beta *. tk) +. m.gamma);
+            go rest
+          end
+    end
+  in
+  go s;
+  Numerics.Kahan.sum acc /. float_of_int n
+
+let pp_prefix n fmt s =
+  let items = take (n + 1) s in
+  let shown = if List.length items > n then List.filteri (fun i _ -> i < n) items else items in
+  Format.fprintf fmt "(%s%s)"
+    (String.concat ", " (List.map (Printf.sprintf "%g") shown))
+    (if List.length items > n then ", ..." else "")

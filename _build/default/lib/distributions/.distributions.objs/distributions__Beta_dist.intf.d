@@ -1,0 +1,1 @@
+lib/distributions/beta_dist.mli: Dist

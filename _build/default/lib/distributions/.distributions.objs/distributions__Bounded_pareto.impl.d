@@ -1,0 +1,1 @@
+lib/distributions/bounded_pareto.ml: Dist Float Printf Randomness

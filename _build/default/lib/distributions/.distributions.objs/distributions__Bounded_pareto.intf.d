@@ -1,0 +1,1 @@
+lib/distributions/bounded_pareto.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/discrete.ml: Array Dist Hashtbl List Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/discrete.mli: Dist Randomness

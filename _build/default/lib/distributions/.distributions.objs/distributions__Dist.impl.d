@@ -1,0 +1,1 @@
+lib/distributions/dist.ml: Array Float Format Numerics Printf Randomness

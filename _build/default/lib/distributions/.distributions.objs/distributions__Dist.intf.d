@@ -1,0 +1,1 @@
+lib/distributions/dist.mli: Format Randomness

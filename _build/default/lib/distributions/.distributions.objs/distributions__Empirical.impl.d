@@ -1,0 +1,1 @@
+lib/distributions/empirical.ml: Array Dist Float Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/empirical.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/exponential.ml: Dist Float Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/exponential.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/fitting.ml: Array Empirical Lognormal Numerics

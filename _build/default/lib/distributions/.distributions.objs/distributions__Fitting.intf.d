@@ -1,0 +1,1 @@
+lib/distributions/fitting.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/frechet.ml: Dist Float Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/frechet.mli: Dist

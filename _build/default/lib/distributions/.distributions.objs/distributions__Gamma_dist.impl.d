@@ -1,0 +1,1 @@
+lib/distributions/gamma_dist.ml: Dist Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/gamma_dist.mli: Dist

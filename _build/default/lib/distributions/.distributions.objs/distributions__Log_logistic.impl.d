@@ -1,0 +1,1 @@
+lib/distributions/log_logistic.ml: Dist Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/log_logistic.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/lognormal.ml: Dist Numerics Printf Randomness

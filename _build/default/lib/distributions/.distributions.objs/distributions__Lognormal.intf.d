@@ -1,0 +1,1 @@
+lib/distributions/lognormal.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/mixture.ml: Dist Float List Lognormal Numerics Printf Randomness String

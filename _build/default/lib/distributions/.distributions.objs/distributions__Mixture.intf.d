@@ -1,0 +1,1 @@
+lib/distributions/mixture.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/pareto.ml: Dist Float Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/pareto.mli: Dist

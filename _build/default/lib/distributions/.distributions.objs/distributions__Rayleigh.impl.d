@@ -1,0 +1,1 @@
+lib/distributions/rayleigh.ml: Dist Printf Weibull

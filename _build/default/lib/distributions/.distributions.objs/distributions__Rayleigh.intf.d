@@ -1,0 +1,1 @@
+lib/distributions/rayleigh.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/registry.ml: Frechet List Log_logistic Mixture Option Rayleigh Shifted_exponential String Table1 Triangular

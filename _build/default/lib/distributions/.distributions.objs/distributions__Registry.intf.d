@@ -1,0 +1,1 @@
+lib/distributions/registry.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/shifted_exponential.ml: Dist Float Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/shifted_exponential.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/table1.ml: Beta_dist Bounded_pareto Exponential Gamma_dist List Lognormal Option Pareto String Truncated_normal Uniform_dist Weibull

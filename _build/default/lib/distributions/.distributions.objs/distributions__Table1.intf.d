@@ -1,0 +1,1 @@
+lib/distributions/table1.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/triangular.ml: Dist Float Printf Randomness

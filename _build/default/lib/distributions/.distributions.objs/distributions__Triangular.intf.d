@@ -1,0 +1,1 @@
+lib/distributions/triangular.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/truncated_normal.ml: Dist Float Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/truncated_normal.mli: Dist

@@ -1,0 +1,1 @@
+lib/distributions/uniform_dist.ml: Dist Float Printf Randomness

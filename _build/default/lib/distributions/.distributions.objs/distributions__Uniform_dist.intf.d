@@ -1,0 +1,1 @@
+lib/distributions/uniform_dist.mli: Dist

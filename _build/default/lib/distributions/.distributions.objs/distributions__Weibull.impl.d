@@ -1,0 +1,1 @@
+lib/distributions/weibull.ml: Dist Numerics Printf Randomness

@@ -1,0 +1,1 @@
+lib/distributions/weibull.mli: Dist

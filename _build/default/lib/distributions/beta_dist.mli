@@ -1,0 +1,14 @@
+(** Beta distribution [Beta(alpha, beta)] on [[0, 1]].
+
+    Density [f(t) = t^(alpha-1) (1-t)^(beta-1) / B(alpha, beta)]. A
+    bounded-support law modelling normalized execution times. The
+    conditional expectation follows Appendix B.7:
+    [E(X | X > tau) = (B(alpha+1, beta) - B(tau; alpha+1, beta)) /
+    (B(alpha, beta) - B(tau; alpha, beta))]. *)
+
+val make : alpha:float -> beta:float -> Dist.t
+(** [make ~alpha ~beta] is Beta(alpha, beta).
+    @raise Invalid_argument if [alpha <= 0.] or [beta <= 0.]. *)
+
+val default : Dist.t
+(** Table 1 instantiation: [Beta(2.0, 2.0)]. *)

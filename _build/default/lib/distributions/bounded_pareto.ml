@@ -1,0 +1,73 @@
+let make ~l ~h ~alpha =
+  if l <= 0.0 || l >= h then invalid_arg "Bounded_pareto.make: need 0 < l < h";
+  if alpha <= 0.0 then invalid_arg "Bounded_pareto.make: alpha must be positive";
+  if alpha = 1.0 then
+    invalid_arg "Bounded_pareto.make: alpha = 1 is not supported (mean formula)";
+  let ratio_a = (l /. h) ** alpha in
+  let norm = 1.0 -. ratio_a in
+  let pdf t =
+    if t < l || t > h then 0.0
+    else alpha *. (l ** alpha) *. (t ** (-.alpha -. 1.0)) /. norm
+  in
+  let cdf t =
+    if t <= l then 0.0
+    else if t >= h then 1.0
+    else (1.0 -. ((l ** alpha) *. (t ** -.alpha))) /. norm
+  in
+  let quantile x =
+    if x < 0.0 || x > 1.0 then
+      invalid_arg "Bounded_pareto.quantile: x must be in [0, 1]";
+    (* Table 5: Q(x) = L / (1 - (1 - (L/H)^alpha) x)^(1/alpha). *)
+    l /. ((1.0 -. (norm *. x)) ** (1.0 /. alpha))
+  in
+  let mean =
+    alpha /. (alpha -. 1.0)
+    *. (((h ** alpha) *. l) -. (h *. (l ** alpha)))
+    /. ((h ** alpha) -. (l ** alpha))
+  in
+  let variance =
+    if alpha = 2.0 then begin
+      (* The generic second-moment formula has a removable singularity
+         at alpha = 2; use the direct integral E[X^2] =
+         2 L^2 H^2 ln (H/L) / (H^2 - L^2) there. *)
+      let ex2 =
+        2.0 *. (l ** 2.0) *. (h ** 2.0) *. log (h /. l)
+        /. ((h ** 2.0) -. (l ** 2.0))
+      in
+      ex2 -. (mean *. mean)
+    end
+    else begin
+      let ex2 =
+        alpha /. (alpha -. 2.0)
+        *. (((h ** alpha) *. (l ** 2.0)) -. ((h ** 2.0) *. (l ** alpha)))
+        /. ((h ** alpha) -. (l ** alpha))
+      in
+      ex2 -. (mean *. mean)
+    end
+  in
+  (* Appendix B.8. *)
+  let conditional_mean tau =
+    let tau = Float.max tau l in
+    if tau >= h then h
+    else
+      alpha /. (alpha -. 1.0)
+      *. ((h ** (1.0 -. alpha)) -. (tau ** (1.0 -. alpha)))
+      /. ((h ** -.alpha) -. (tau ** -.alpha))
+  in
+  let sample rng =
+    let u = Randomness.Rng.float rng in
+    quantile u
+  in
+  {
+    Dist.name = Printf.sprintf "BoundedPareto(%g, %g, %g)" l h alpha;
+    support = Dist.Bounded (l, h);
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample;
+    conditional_mean;
+  }
+
+let default = make ~l:1.0 ~h:20.0 ~alpha:2.1

@@ -1,0 +1,16 @@
+(** Bounded Pareto distribution [BoundedPareto(L, H, alpha)] on
+    [[L, H]].
+
+    Density [f(t) = alpha L^alpha t^(-alpha-1) / (1 - (L/H)^alpha)]. A
+    heavy-tail law with a hard upper bound — the classical model for
+    job sizes in systems workloads. Conditional expectation (Appendix
+    B.8): [E(X | X > tau) = alpha/(alpha-1) * (H^(1-alpha) -
+    tau^(1-alpha)) / (H^-alpha - tau^-alpha)]. *)
+
+val make : l:float -> h:float -> alpha:float -> Dist.t
+(** [make ~l ~h ~alpha] is BoundedPareto(L = [l], H = [h], [alpha]).
+    @raise Invalid_argument unless [0 < l < h] and [alpha > 0] and
+    [alpha <> 1] (the paper's mean formula requires [alpha <> 1]). *)
+
+val default : Dist.t
+(** Table 1 instantiation: [BoundedPareto(1.0, 20.0, 2.1)]. *)

@@ -1,0 +1,24 @@
+let make ~rate =
+  if rate <= 0.0 then invalid_arg "Exponential.make: rate must be positive";
+  let pdf t = if t < 0.0 then 0.0 else rate *. exp (-.rate *. t) in
+  let cdf t = if t <= 0.0 then 0.0 else 1.0 -. exp (-.rate *. t) in
+  let quantile x =
+    if x < 0.0 || x > 1.0 then
+      invalid_arg "Exponential.quantile: x must be in [0, 1]";
+    if x = 1.0 then infinity else -.log (1.0 -. x) /. rate
+  in
+  (* Memorylessness: E[X | X > tau] = tau + 1/lambda. *)
+  let conditional_mean tau = Float.max tau 0.0 +. (1.0 /. rate) in
+  {
+    Dist.name = Printf.sprintf "Exponential(%g)" rate;
+    support = Dist.Unbounded 0.0;
+    pdf;
+    cdf;
+    quantile;
+    mean = 1.0 /. rate;
+    variance = 1.0 /. (rate *. rate);
+    sample = (fun rng -> Randomness.Sampler.exponential rng ~rate);
+    conditional_mean;
+  }
+
+let default = make ~rate:1.0

@@ -1,0 +1,13 @@
+(** Exponential distribution [Exp(lambda)] on [[0, inf)].
+
+    Density [f(t) = lambda * exp (-lambda * t)]. The paper's running
+    example: memorylessness makes every formula closed-form, and
+    Proposition 2 shows the optimal RESERVATIONONLY sequence for
+    [Exp(lambda)] is the [Exp(1)] sequence scaled by [1/lambda]. *)
+
+val make : rate:float -> Dist.t
+(** [make ~rate] is [Exp(rate)].
+    @raise Invalid_argument if [rate <= 0.]. *)
+
+val default : Dist.t
+(** Table 1 instantiation: [Exp(1.0)]. *)

@@ -1,0 +1,40 @@
+type lognormal_fit = {
+  mu : float;
+  sigma : float;
+  sample_mean : float;
+  sample_std : float;
+  ks : float;
+  n : int;
+}
+
+let lognormal_mle xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Fitting.lognormal_mle: need at least 2 samples";
+  Array.iter
+    (fun x ->
+      if x <= 0.0 then
+        invalid_arg "Fitting.lognormal_mle: samples must be positive")
+    xs;
+  let logs = Array.map log xs in
+  let mu = Numerics.Stats.mean logs in
+  let sigma = Numerics.Stats.std logs in
+  if sigma <= 0.0 then
+    invalid_arg "Fitting.lognormal_mle: degenerate sample (zero variance)";
+  let d = Lognormal.make ~mu ~sigma in
+  {
+    mu;
+    sigma;
+    sample_mean = Numerics.Stats.mean xs;
+    sample_std = Numerics.Stats.std xs;
+    ks = Empirical.ks_statistic d xs;
+    n;
+  }
+
+let lognormal_of_moments ~mean ~std =
+  if mean <= 0.0 || std <= 0.0 then
+    invalid_arg "Fitting.lognormal_of_moments: mean and std must be positive";
+  let ratio = std /. mean in
+  let sigma2 = log (1.0 +. (ratio *. ratio)) in
+  (log mean -. (sigma2 /. 2.0), sqrt sigma2)
+
+let to_dist fit = Lognormal.make ~mu:fit.mu ~sigma:fit.sigma

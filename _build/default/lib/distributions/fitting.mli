@@ -1,0 +1,31 @@
+(** Parameter estimation from trace data.
+
+    The paper fits LogNormal laws to neuroscience application traces
+    (Fig. 1) and re-instantiates them from target moments for the
+    robustness sweep of Fig. 4 (footnote 4). This module provides both
+    estimators plus simple diagnostics. *)
+
+type lognormal_fit = {
+  mu : float;  (** Fitted log-mean. *)
+  sigma : float;  (** Fitted log-std. *)
+  sample_mean : float;  (** Linear-scale sample mean. *)
+  sample_std : float;  (** Linear-scale sample standard deviation. *)
+  ks : float;  (** Kolmogorov–Smirnov distance of the fit to the data. *)
+  n : int;  (** Number of samples used. *)
+}
+
+val lognormal_mle : float array -> lognormal_fit
+(** [lognormal_mle xs] fits LogNormal(mu, sigma^2) by maximum
+    likelihood — [mu] and [sigma] are the mean and standard deviation
+    of [ln x_i]. This is the estimator behind Fig. 1.
+    @raise Invalid_argument if fewer than 2 samples or any sample is
+    non-positive. *)
+
+val lognormal_of_moments : mean:float -> std:float -> float * float
+(** [lognormal_of_moments ~mean ~std] is footnote 4's inversion: the
+    [(mu, sigma)] of the LogNormal whose linear mean and standard
+    deviation equal the arguments.
+    @raise Invalid_argument if [mean <= 0.] or [std <= 0.]. *)
+
+val to_dist : lognormal_fit -> Dist.t
+(** [to_dist fit] instantiates the fitted LogNormal as a {!Dist.t}. *)

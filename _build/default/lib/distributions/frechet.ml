@@ -1,0 +1,63 @@
+module Sf = Numerics.Specfun
+
+let make ~shape ~scale =
+  if scale <= 0.0 then invalid_arg "Frechet.make: scale must be positive";
+  if shape <= 2.0 then
+    invalid_arg "Frechet.make: shape must exceed 2 (finite variance)";
+  let cdf t =
+    if t <= 0.0 then 0.0 else exp (-.((t /. scale) ** -.shape))
+  in
+  let pdf t =
+    if t <= 0.0 then 0.0
+    else begin
+      (* Evaluate in log space: near t = 0 the power factor overflows
+         while the exponential underflows, and their direct product is
+         nan. *)
+      let r = t /. scale in
+      let u = r ** -.shape in
+      let log_pdf =
+        log (shape /. scale) +. ((-1.0 -. shape) *. log r) -. u
+      in
+      if log_pdf < -745.0 then 0.0 else exp log_pdf
+    end
+  in
+  let quantile p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg "Frechet.quantile: p must be in [0, 1]";
+    if p = 0.0 then 0.0
+    else if p = 1.0 then infinity
+    else scale *. ((-.log p) ** (-1.0 /. shape))
+  in
+  let g1 = Sf.gamma (1.0 -. (1.0 /. shape)) in
+  let mean = scale *. g1 in
+  let variance =
+    scale *. scale *. (Sf.gamma (1.0 -. (2.0 /. shape)) -. (g1 *. g1))
+  in
+  (* Substituting u = (x/scale)^-shape turns the partial expectation
+     into a lower incomplete gamma:
+     E[X 1(X > tau)] = scale * gamma_lower(1 - 1/shape, u_tau). *)
+  let a' = 1.0 -. (1.0 /. shape) in
+  let gamma_a' = Sf.gamma a' in
+  let conditional_mean tau =
+    if tau <= 0.0 then mean
+    else begin
+      let u = (tau /. scale) ** -.shape in
+      let sf = -.Float.expm1 (-.u) (* 1 - e^-u, accurate for small u *) in
+      if sf <= 0.0 then tau
+      else scale *. Sf.gamma_p a' u *. gamma_a' /. sf
+    end
+  in
+  let sample rng = quantile (Randomness.Rng.float_open rng) in
+  {
+    Dist.name = Printf.sprintf "Frechet(%g, %g)" shape scale;
+    support = Dist.Unbounded 0.0;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample;
+    conditional_mean;
+  }
+
+let default = make ~shape:3.0 ~scale:1.5

@@ -1,0 +1,16 @@
+(** Frechet (inverse Weibull) distribution [Frechet(shape, scale)] on
+    [(0, inf)].
+
+    CDF [F(t) = exp (-(t/scale)^-shape)] — the max-stable heavy-tail
+    law; models worst-case-dominated execution times. Conditional
+    expectation via the lower incomplete gamma function:
+    [E(X | X > tau) = scale * gamma_lower(1 - 1/shape, u) /
+    (1 - exp (-u))] with [u = (tau/scale)^-shape]. *)
+
+val make : shape:float -> scale:float -> Dist.t
+(** [make ~shape ~scale] requires [shape > 2] so mean and variance are
+    finite.
+    @raise Invalid_argument otherwise. *)
+
+val default : Dist.t
+(** [Frechet(3.0, 1.5)]. *)

@@ -1,0 +1,15 @@
+(** Gamma distribution [Gamma(alpha, beta)] (shape [alpha], rate
+    [beta]) on [[0, inf)].
+
+    Density [f(t) = beta^alpha / Gamma(alpha) * t^(alpha-1) e^(-beta t)].
+    The conditional expectation follows Appendix B.2:
+    [E(X | X > tau) = alpha/beta + (beta tau)^alpha e^(-beta tau) /
+    (Gamma(alpha, beta tau) * beta)]. *)
+
+val make : shape:float -> rate:float -> Dist.t
+(** [make ~shape ~rate] is Gamma with the paper's (shape, rate)
+    parameterisation.
+    @raise Invalid_argument if [shape <= 0.] or [rate <= 0.]. *)
+
+val default : Dist.t
+(** Table 1 instantiation: [Gamma(2.0, 2.0)]. *)

@@ -1,0 +1,66 @@
+module Sf = Numerics.Specfun
+
+let pi = 4.0 *. atan 1.0
+
+let make ~scale ~shape =
+  if scale <= 0.0 then invalid_arg "Log_logistic.make: scale must be positive";
+  if shape <= 2.0 then
+    invalid_arg "Log_logistic.make: shape must exceed 2 (finite variance)";
+  let cdf t =
+    if t <= 0.0 then 0.0
+    else begin
+      let r = (t /. scale) ** shape in
+      r /. (1.0 +. r)
+    end
+  in
+  let pdf t =
+    if t <= 0.0 then 0.0
+    else begin
+      let r = (t /. scale) ** (shape -. 1.0) in
+      let denom = 1.0 +. ((t /. scale) ** shape) in
+      shape /. scale *. r /. (denom *. denom)
+    end
+  in
+  let quantile p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg "Log_logistic.quantile: p must be in [0, 1]";
+    if p = 0.0 then 0.0
+    else if p = 1.0 then infinity
+    else scale *. ((p /. (1.0 -. p)) ** (1.0 /. shape))
+  in
+  let b = pi /. shape in
+  let mean = scale *. b /. sin b in
+  let variance =
+    (scale *. scale *. ((2.0 *. b /. sin (2.0 *. b)) -. (b *. b /. (sin b *. sin b))))
+  in
+  (* E[X 1(X > tau)] = scale (B(a', b') - B(F tau; a', b')) with
+     a' = 1 + 1/shape, b' = 1 - 1/shape (substitution u = F(x)). *)
+  let a' = 1.0 +. (1.0 /. shape) in
+  let b' = 1.0 -. (1.0 /. shape) in
+  let total_beta = Sf.beta_fun a' b' in
+  let conditional_mean tau =
+    if tau <= 0.0 then mean
+    else begin
+      let f = cdf tau in
+      let sf = 1.0 -. f in
+      if sf <= 0.0 then tau
+      else begin
+        let partial = scale *. (total_beta -. Sf.incomplete_beta a' b' f) in
+        partial /. sf
+      end
+    end
+  in
+  let sample rng = quantile (Randomness.Rng.float_open rng) in
+  {
+    Dist.name = Printf.sprintf "LogLogistic(%g, %g)" scale shape;
+    support = Dist.Unbounded 0.0;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample;
+    conditional_mean;
+  }
+
+let default = make ~scale:2.0 ~shape:3.0

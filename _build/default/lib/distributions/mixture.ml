@@ -1,0 +1,112 @@
+let make components =
+  if components = [] then invalid_arg "Mixture.make: empty component list";
+  List.iter
+    (fun (w, _) ->
+      if (not (Float.is_finite w)) || w <= 0.0 then
+        invalid_arg "Mixture.make: weights must be positive and finite")
+    components;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+  let components = List.map (fun (w, d) -> (w /. total, d)) components in
+  let support =
+    let lowers = List.map (fun (_, d) -> Dist.lower d) components in
+    let lo = List.fold_left Float.min infinity lowers in
+    if List.exists (fun (_, d) -> not (Dist.is_bounded d)) components then
+      Dist.Unbounded lo
+    else begin
+      let hi =
+        List.fold_left
+          (fun acc (_, d) -> Float.max acc (Dist.upper d))
+          neg_infinity components
+      in
+      Dist.Bounded (lo, hi)
+    end
+  in
+  let pdf t =
+    List.fold_left (fun acc (w, d) -> acc +. (w *. d.Dist.pdf t)) 0.0 components
+  in
+  let cdf t =
+    List.fold_left (fun acc (w, d) -> acc +. (w *. d.Dist.cdf t)) 0.0 components
+  in
+  let quantile p =
+    if p < 0.0 || p > 1.0 then invalid_arg "Mixture.quantile: p must be in [0, 1]";
+    if p = 0.0 then (match support with Dist.Bounded (a, _) | Dist.Unbounded a -> a)
+    else if p = 1.0 then
+      (match support with Dist.Bounded (_, b) -> b | Dist.Unbounded _ -> infinity)
+    else begin
+      (* Component quantiles bracket the mixture quantile: at
+         max_i Q_i(p) every component CDF is >= p, so the mixture CDF
+         is too; symmetrically at min_i Q_i(p). *)
+      let qs = List.map (fun (_, d) -> d.Dist.quantile p) components in
+      let lo = List.fold_left Float.min infinity qs in
+      let hi = List.fold_left Float.max neg_infinity qs in
+      if hi -. lo < 1e-300 then lo
+      else Numerics.Rootfind.brent (fun t -> cdf t -. p) lo hi
+    end
+  in
+  let mean =
+    List.fold_left (fun acc (w, d) -> acc +. (w *. d.Dist.mean)) 0.0 components
+  in
+  let second_moment =
+    List.fold_left
+      (fun acc (w, d) ->
+        acc +. (w *. (d.Dist.variance +. (d.Dist.mean *. d.Dist.mean))))
+      0.0 components
+  in
+  let variance = second_moment -. (mean *. mean) in
+  let conditional_mean tau =
+    (* E[X | X > tau] = sum_i w_i pe_i(tau) / sum_i w_i sf_i(tau)
+       with pe_i the component partial expectation cm_i sf_i. *)
+    let num = ref 0.0 and den = ref 0.0 in
+    List.iter
+      (fun (w, d) ->
+        let sf = Dist.sf d tau in
+        if sf > 1e-300 then begin
+          num := !num +. (w *. d.Dist.conditional_mean tau *. sf);
+          den := !den +. (w *. sf)
+        end)
+      components;
+    if !den <= 0.0 then Float.max tau mean else !num /. !den
+  in
+  let sample rng =
+    (* Pick a component by weight, then sample it. *)
+    let u = Randomness.Rng.float rng in
+    let rec pick acc = function
+      | [ (_, d) ] -> d.Dist.sample rng
+      | (w, d) :: rest ->
+          if u < acc +. w then d.Dist.sample rng else pick (acc +. w) rest
+      | [] -> assert false
+    in
+    pick 0.0 components
+  in
+  let name =
+    "Mixture("
+    ^ String.concat " + "
+        (List.map
+           (fun (w, d) -> Printf.sprintf "%.3g*%s" w d.Dist.name)
+           components)
+    ^ ")"
+  in
+  {
+    Dist.name;
+    support;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample;
+    conditional_mean;
+  }
+
+let bimodal_lognormal ~w1 ~mu1 ~sigma1 ~mu2 ~sigma2 =
+  if w1 <= 0.0 || w1 >= 1.0 then
+    invalid_arg "Mixture.bimodal_lognormal: w1 must be in (0, 1)";
+  make
+    [
+      (w1, Lognormal.make ~mu:mu1 ~sigma:sigma1);
+      (1.0 -. w1, Lognormal.make ~mu:mu2 ~sigma:sigma2);
+    ]
+
+let default =
+  bimodal_lognormal ~w1:0.7 ~mu1:(log 10.0) ~sigma1:0.3 ~mu2:(log 60.0)
+    ~sigma2:0.25

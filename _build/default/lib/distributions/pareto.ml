@@ -1,0 +1,34 @@
+let make ~nu ~alpha =
+  if nu <= 0.0 || alpha <= 0.0 then
+    invalid_arg "Pareto.make: nu and alpha must be positive";
+  let pdf t =
+    if t < nu then 0.0 else alpha *. (nu ** alpha) /. (t ** (alpha +. 1.0))
+  in
+  let cdf t = if t <= nu then 0.0 else 1.0 -. ((nu /. t) ** alpha) in
+  let quantile x =
+    if x < 0.0 || x > 1.0 then invalid_arg "Pareto.quantile: x must be in [0, 1]";
+    if x = 1.0 then infinity else nu /. ((1.0 -. x) ** (1.0 /. alpha))
+  in
+  let mean = if alpha > 1.0 then alpha *. nu /. (alpha -. 1.0) else infinity in
+  let variance =
+    if alpha > 2.0 then
+      alpha *. nu *. nu /. (((alpha -. 1.0) ** 2.0) *. (alpha -. 2.0))
+    else infinity
+  in
+  let conditional_mean tau =
+    let tau = Float.max tau nu in
+    if alpha > 1.0 then alpha *. tau /. (alpha -. 1.0) else infinity
+  in
+  {
+    Dist.name = Printf.sprintf "Pareto(%g, %g)" nu alpha;
+    support = Dist.Unbounded nu;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample = (fun rng -> Randomness.Sampler.pareto rng ~nu ~alpha);
+    conditional_mean;
+  }
+
+let default = make ~nu:1.5 ~alpha:3.0

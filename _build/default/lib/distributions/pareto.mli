@@ -1,0 +1,15 @@
+(** Pareto distribution [Pareto(nu, alpha)] on [[nu, inf)].
+
+    Density [f(t) = alpha nu^alpha / t^(alpha+1)]. A canonical
+    heavy-tail execution-time model. The conditional expectation is
+    Appendix B.5's strikingly simple [E(X | X > tau) = alpha tau /
+    (alpha - 1)] (for [alpha > 1]). *)
+
+val make : nu:float -> alpha:float -> Dist.t
+(** [make ~nu ~alpha] is Pareto with scale [nu] and shape [alpha].
+    The mean requires [alpha > 1] and the variance [alpha > 2]; outside
+    those ranges the respective field is [infinity].
+    @raise Invalid_argument if [nu <= 0.] or [alpha <= 0.]. *)
+
+val default : Dist.t
+(** Table 1 instantiation: [Pareto(1.5, 3.0)]. *)

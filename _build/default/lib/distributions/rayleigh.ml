@@ -1,0 +1,6 @@
+let make ~sigma =
+  if sigma <= 0.0 then invalid_arg "Rayleigh.make: sigma must be positive";
+  let d = Weibull.make ~lambda:(sigma *. sqrt 2.0) ~kappa:2.0 in
+  { d with Dist.name = Printf.sprintf "Rayleigh(%g)" sigma }
+
+let default = make ~sigma:2.0

@@ -1,0 +1,18 @@
+let extras =
+  [
+    ("LogLogistic", Log_logistic.default);
+    ("Frechet", Frechet.default);
+    ("Triangular", Triangular.default);
+    ("ShiftedExp", Shifted_exponential.default);
+    ("Rayleigh", Rayleigh.default);
+    ("BimodalLogNormal", Mixture.default);
+  ]
+
+let all = Table1.all @ extras
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun (n, _) -> String.lowercase_ascii n = target) all
+  |> Option.map snd
+
+let names () = List.map fst all

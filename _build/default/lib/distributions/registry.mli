@@ -1,0 +1,17 @@
+(** Name-indexed registry of every distribution this library ships:
+    the paper's Table 1 evaluation set plus the extended set (mixture,
+    log-logistic, Frechet, triangular, shifted exponential,
+    Rayleigh). *)
+
+val extras : (string * Dist.t) list
+(** The beyond-the-paper distributions with their default
+    instantiations. *)
+
+val all : (string * Dist.t) list
+(** {!Table1.all} followed by {!extras}. *)
+
+val find : string -> Dist.t option
+(** Case-insensitive lookup over {!all}. *)
+
+val names : unit -> string list
+(** Registered names, in registry order. *)

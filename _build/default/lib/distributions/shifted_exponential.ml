@@ -1,0 +1,34 @@
+let make ~location ~rate =
+  if location < 0.0 then
+    invalid_arg "Shifted_exponential.make: location must be nonnegative";
+  if rate <= 0.0 then
+    invalid_arg "Shifted_exponential.make: rate must be positive";
+  let pdf t =
+    if t < location then 0.0 else rate *. exp (-.rate *. (t -. location))
+  in
+  let cdf t =
+    if t <= location then 0.0 else 1.0 -. exp (-.rate *. (t -. location))
+  in
+  let quantile p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg "Shifted_exponential.quantile: p must be in [0, 1]";
+    if p = 1.0 then infinity else location -. (log (1.0 -. p) /. rate)
+  in
+  (* Memorylessness above the shift. *)
+  let conditional_mean tau =
+    Float.max tau location +. (1.0 /. rate)
+  in
+  {
+    Dist.name = Printf.sprintf "ShiftedExp(%g, %g)" location rate;
+    support = Dist.Unbounded location;
+    pdf;
+    cdf;
+    quantile;
+    mean = location +. (1.0 /. rate);
+    variance = 1.0 /. (rate *. rate);
+    sample =
+      (fun rng -> location +. Randomness.Sampler.exponential rng ~rate);
+    conditional_mean;
+  }
+
+let default = make ~location:2.0 ~rate:1.0

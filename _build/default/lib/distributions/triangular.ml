@@ -1,0 +1,73 @@
+let make ~a ~c ~b =
+  if not (0.0 <= a && a <= c && c <= b && a < b) then
+    invalid_arg "Triangular.make: need 0 <= a <= c <= b with a < b";
+  let width = b -. a in
+  let up = c -. a and down = b -. c in
+  let pdf t =
+    if t < a || t > b then 0.0
+    else if t < c then 2.0 *. (t -. a) /. (width *. up)
+    else if t > c then 2.0 *. (b -. t) /. (width *. down)
+    else 2.0 /. width
+  in
+  let cdf t =
+    if t <= a then 0.0
+    else if t >= b then 1.0
+    else if t <= c then (t -. a) ** 2.0 /. (width *. up)
+    else 1.0 -. ((b -. t) ** 2.0 /. (width *. down))
+  in
+  let fc = if up > 0.0 then up /. width else 0.0 in
+  let quantile p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg "Triangular.quantile: p must be in [0, 1]";
+    if p <= fc then a +. sqrt (p *. width *. up)
+    else b -. sqrt ((1.0 -. p) *. width *. down)
+  in
+  let mean = (a +. b +. c) /. 3.0 in
+  let variance =
+    ((a *. a) +. (b *. b) +. (c *. c) -. (a *. b) -. (a *. c) -. (b *. c))
+    /. 18.0
+  in
+  (* Partial expectation of the piecewise-linear density in closed
+     form: on the rising branch int t pdf = 2/(w u) int t (t - a) dt,
+     on the falling branch 2/(w d) int t (b - t) dt. *)
+  let partial_up lo hi =
+    (* int_lo^hi t * 2 (t - a) / (w u) dt *)
+    let prim t = ((t ** 3.0) /. 3.0) -. (a *. t *. t /. 2.0) in
+    2.0 /. (width *. up) *. (prim hi -. prim lo)
+  in
+  let partial_down lo hi =
+    let prim t = (b *. t *. t /. 2.0) -. ((t ** 3.0) /. 3.0) in
+    2.0 /. (width *. down) *. (prim hi -. prim lo)
+  in
+  let conditional_mean tau =
+    let tau = Float.max tau a in
+    if tau >= b then b
+    else begin
+      let sf = 1.0 -. cdf tau in
+      if sf <= 0.0 then b
+      else begin
+        let num =
+          if tau < c then
+            (if up > 0.0 then partial_up tau c else 0.0)
+            +. (if down > 0.0 then partial_down c b else 0.0)
+          else if down > 0.0 then partial_down tau b
+          else 0.0
+        in
+        num /. sf
+      end
+    end
+  in
+  let sample rng = quantile (Randomness.Rng.float rng) in
+  {
+    Dist.name = Printf.sprintf "Triangular(%g, %g, %g)" a c b;
+    support = Dist.Bounded (a, b);
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample;
+    conditional_mean;
+  }
+
+let default = make ~a:5.0 ~c:8.0 ~b:20.0

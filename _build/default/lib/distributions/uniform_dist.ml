@@ -1,0 +1,30 @@
+let make ~a ~b =
+  if a < 0.0 || a >= b then
+    invalid_arg "Uniform_dist.make: need 0 <= a < b";
+  let width = b -. a in
+  let pdf t = if t < a || t > b then 0.0 else 1.0 /. width in
+  let cdf t =
+    if t <= a then 0.0 else if t >= b then 1.0 else (t -. a) /. width
+  in
+  let quantile x =
+    if x < 0.0 || x > 1.0 then
+      invalid_arg "Uniform_dist.quantile: x must be in [0, 1]";
+    ((1.0 -. x) *. a) +. (x *. b)
+  in
+  let conditional_mean tau =
+    let tau = Float.max tau a in
+    if tau >= b then b else 0.5 *. (b +. tau)
+  in
+  {
+    Dist.name = Printf.sprintf "Uniform(%g, %g)" a b;
+    support = Dist.Bounded (a, b);
+    pdf;
+    cdf;
+    quantile;
+    mean = 0.5 *. (a +. b);
+    variance = width *. width /. 12.0;
+    sample = (fun rng -> Randomness.Rng.uniform rng a b);
+    conditional_mean;
+  }
+
+let default = make ~a:10.0 ~b:20.0

@@ -1,0 +1,14 @@
+(** Uniform distribution [Uniform(a, b)] on [[a, b]], [0 < a < b].
+
+    The paper's fully solved case: Theorem 4 proves the optimal
+    STOCHASTIC sequence is the single reservation [(b)] for every
+    [(alpha, beta, gamma)], which the test suite checks against all
+    heuristics. Conditional expectation (Appendix B.6):
+    [E(X | X > tau) = (b + tau) / 2]. *)
+
+val make : a:float -> b:float -> Dist.t
+(** [make ~a ~b] is Uniform on [[a, b]].
+    @raise Invalid_argument unless [0 <= a < b]. *)
+
+val default : Dist.t
+(** Table 1 instantiation: [Uniform(10.0, 20.0)]. *)

@@ -1,0 +1,59 @@
+module Sf = Numerics.Specfun
+
+let make ~lambda ~kappa =
+  if lambda <= 0.0 || kappa <= 0.0 then
+    invalid_arg "Weibull.make: lambda and kappa must be positive";
+  let pdf t =
+    if t < 0.0 then 0.0
+    else if t = 0.0 then (if kappa < 1.0 then infinity else if kappa = 1.0 then 1.0 /. lambda else 0.0)
+    else begin
+      let r = t /. lambda in
+      kappa /. lambda *. (r ** (kappa -. 1.0)) *. exp (-.(r ** kappa))
+    end
+  in
+  let cdf t = if t <= 0.0 then 0.0 else 1.0 -. exp (-.((t /. lambda) ** kappa)) in
+  let quantile x =
+    if x < 0.0 || x > 1.0 then invalid_arg "Weibull.quantile: x must be in [0, 1]";
+    if x = 1.0 then infinity
+    else lambda *. ((-.log (1.0 -. x)) ** (1.0 /. kappa))
+  in
+  let a_cm = 1.0 +. (1.0 /. kappa) in
+  let mean = lambda *. Sf.gamma a_cm in
+  let variance =
+    lambda *. lambda
+    *. (Sf.gamma (1.0 +. (2.0 /. kappa)) -. (Sf.gamma a_cm ** 2.0))
+  in
+  (* Appendix B.1: E[X | X > tau] = lambda * e^z * Gamma(1 + 1/kappa, z),
+     z = (tau/lambda)^kappa. Computed as
+     exp (z + log Gamma(a) + log Q(a, z)); for very large z the product
+     e^z Gamma(a, z) is replaced by its asymptotic expansion
+     z^(a-1) (1 + (a-1)/z + (a-1)(a-2)/z^2). *)
+  let conditional_mean tau =
+    if tau <= 0.0 then mean
+    else begin
+      let z = (tau /. lambda) ** kappa in
+      if z > 600.0 then begin
+        let a1 = a_cm -. 1.0 in
+        lambda
+        *. (z ** a1)
+        *. (1.0 +. (a1 /. z) +. (a1 *. (a1 -. 1.0) /. (z *. z)))
+      end
+      else begin
+        let q = Sf.gamma_q a_cm z in
+        lambda *. exp (z +. Sf.log_gamma a_cm +. log q)
+      end
+    end
+  in
+  {
+    Dist.name = Printf.sprintf "Weibull(%g, %g)" lambda kappa;
+    support = Dist.Unbounded 0.0;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample = (fun rng -> Randomness.Sampler.weibull rng ~lambda ~k:kappa);
+    conditional_mean;
+  }
+
+let default = make ~lambda:1.0 ~kappa:0.5

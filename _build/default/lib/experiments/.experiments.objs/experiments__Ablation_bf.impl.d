@@ -1,0 +1,1 @@
+lib/experiments/ablation_bf.ml: Array Buffer Config Distributions Float List Printf Stochastic_core

@@ -1,0 +1,1 @@
+lib/experiments/ablation_bf.mli: Config Distributions

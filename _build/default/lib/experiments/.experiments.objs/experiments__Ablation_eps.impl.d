@@ -1,0 +1,1 @@
+lib/experiments/ablation_eps.ml: Array Config Distributions Float List Printf Stochastic_core Text_table

@@ -1,0 +1,1 @@
+lib/experiments/ablation_eps.mli: Config

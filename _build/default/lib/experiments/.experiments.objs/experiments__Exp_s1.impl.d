@@ -1,0 +1,1 @@
+lib/experiments/exp_s1.ml: Config Distributions Float Printf Stochastic_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_s1.mli: Config

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Buffer Config Distributions Float List Numerics Platform Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Buffer Config Float Numerics Platform Printf Stochastic_core

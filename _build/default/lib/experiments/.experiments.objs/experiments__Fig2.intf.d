@@ -1,0 +1,1 @@
+lib/experiments/fig2.mli: Config Numerics Platform Stochastic_core

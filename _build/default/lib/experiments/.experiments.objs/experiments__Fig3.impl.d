@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Buffer Config Distributions Float List Printf Stochastic_core String

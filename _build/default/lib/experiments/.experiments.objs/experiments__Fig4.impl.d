@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Config Distributions Float List Printf Stochastic_core Table2 Text_table

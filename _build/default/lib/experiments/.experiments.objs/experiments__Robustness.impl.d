@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Array Buffer Config Distributions Float List Numerics Printf Stochastic_core

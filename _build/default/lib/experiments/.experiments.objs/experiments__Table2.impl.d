@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Config Distributions Float List Printf Stochastic_core Text_table

@@ -1,0 +1,1 @@
+lib/experiments/table2x.ml: Array Config Distributions Float List Printf Stochastic_core Table2 Text_table

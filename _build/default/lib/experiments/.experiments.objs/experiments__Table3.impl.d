@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Config Distributions List Option Printf Stochastic_core Text_table

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array Config Distributions List Printf Stochastic_core Text_table

@@ -1,0 +1,1 @@
+lib/experiments/text_table.ml: Array Buffer Float List Printf String

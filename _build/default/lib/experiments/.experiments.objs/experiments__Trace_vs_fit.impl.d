@@ -1,0 +1,1 @@
+lib/experiments/trace_vs_fit.ml: Array Buffer Config Distributions Float List Numerics Printf Stochastic_core

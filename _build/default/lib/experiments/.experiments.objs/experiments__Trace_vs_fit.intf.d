@@ -1,0 +1,1 @@
+lib/experiments/trace_vs_fit.mli: Config

@@ -1,0 +1,43 @@
+module E = Stochastic_core.Exponential_opt
+module Brute_force = Stochastic_core.Brute_force
+module Cost_model = Stochastic_core.Cost_model
+
+type t = {
+  s1 : float;
+  e1 : float;
+  bf_t1 : float;
+  bf_cost : float;
+  scale_check : float;
+}
+
+let run ?(cfg = Config.paper) () =
+  let sol = E.solve () in
+  let cost = Cost_model.reservation_only in
+  let d = Distributions.Exponential.make ~rate:1.0 in
+  let bf =
+    Brute_force.search ~m:cfg.Config.m ~evaluator:Brute_force.Exact cost d
+  in
+  {
+    s1 = sol.E.s1;
+    e1 = sol.E.e1;
+    bf_t1 = bf.Brute_force.t1;
+    bf_cost = bf.Brute_force.cost;
+    scale_check = E.expected_cost ~rate:2.0;
+  }
+
+let to_string t =
+  Printf.sprintf
+    "Exp(1) ReservationOnly: s1 = %.5f (paper: ~0.74219), E1 = %.5f\n\
+     generic brute force:    t1 = %.5f, cost = %.5f\n\
+     Exp(2) scaled optimum:  %.5f (expected E1/2 = %.5f)\n"
+    t.s1 t.e1 t.bf_t1 t.bf_cost t.scale_check (t.e1 /. 2.0)
+
+let sanity t =
+  [
+    ("s1 in the paper's flat basin [0.70, 0.80]", t.s1 >= 0.70 && t.s1 <= 0.80);
+    ("E1 close to 2.3645", Float.abs (t.e1 -. 2.3645) < 2e-3);
+    ( "generic brute force agrees with the dedicated solver",
+      Float.abs (t.bf_cost -. t.e1) < 5e-3 );
+    ( "Exp(lambda) optimum scales as E1 / lambda",
+      Float.abs (t.scale_check -. (t.e1 /. 2.0)) < 1e-9 );
+  ]

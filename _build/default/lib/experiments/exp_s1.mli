@@ -1,0 +1,24 @@
+(** The Sect. 3.5 constant: optimal first reservation for Exp(1) under
+    RESERVATIONONLY.
+
+    Computes [(s1, E1)] with the dedicated Proposition 2 solver and
+    cross-checks it against the generic BRUTE-FORCE machinery with the
+    exact Eq. (4) evaluator. The paper reports [s1 ~ 0.74219] ("about
+    three quarters of the mean"); the objective is extremely flat
+    around the optimum and the recurrence trajectory is numerically
+    unstable there, so implementations may legitimately settle a few
+    thousandths away — the invariant checked is that both solvers land
+    in the same flat basin with matching costs. *)
+
+type t = {
+  s1 : float;
+  e1 : float;
+  bf_t1 : float;  (** Generic brute-force cross-check. *)
+  bf_cost : float;
+  scale_check : float;
+      (** Optimal cost for Exp(2), expected to equal [e1 / 2]. *)
+}
+
+val run : ?cfg:Config.t -> unit -> t
+val to_string : t -> string
+val sanity : t -> (string * bool) list

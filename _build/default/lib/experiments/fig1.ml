@@ -1,0 +1,77 @@
+type app_result = {
+  app_name : string;
+  truth_mu : float;
+  truth_sigma : float;
+  fit : Distributions.Fitting.lognormal_fit;
+  histogram : (float * int) array;
+}
+
+type t = app_result list
+
+let run ?(cfg = Config.paper) ?(runs = 5000) () =
+  List.map
+    (fun app ->
+      let rng =
+        Config.rng_for cfg (Printf.sprintf "fig1/%s" app.Platform.Traces.app_name)
+      in
+      let trace = Platform.Traces.generate ~runs app rng in
+      let fit = Distributions.Fitting.lognormal_mle trace in
+      let h = Numerics.Stats.histogram ~bins:30 trace in
+      let histogram =
+        Array.init
+          (Array.length h.Numerics.Stats.counts)
+          (fun i ->
+            ( 0.5 *. (h.Numerics.Stats.bounds.(i) +. h.Numerics.Stats.bounds.(i + 1)),
+              h.Numerics.Stats.counts.(i) ))
+      in
+      {
+        app_name = app.Platform.Traces.app_name;
+        truth_mu = app.Platform.Traces.mu;
+        truth_sigma = app.Platform.Traces.sigma;
+        fit;
+        histogram;
+      })
+    [ Platform.Traces.fmriqa; Platform.Traces.vbmqa ]
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      let f = r.fit in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s: generated LogNormal(mu=%.4f, sigma=%.4f); MLE fit mu=%.4f \
+            sigma=%.4f; sample mean=%.1fs std=%.1fs; KS=%.4f (n=%d)\n"
+           r.app_name r.truth_mu r.truth_sigma f.Distributions.Fitting.mu
+           f.Distributions.Fitting.sigma f.Distributions.Fitting.sample_mean
+           f.Distributions.Fitting.sample_std f.Distributions.Fitting.ks
+           f.Distributions.Fitting.n);
+      (* Text histogram, normalized to a 50-column bar. *)
+      let maxc =
+        Array.fold_left (fun acc (_, c) -> max acc c) 1 r.histogram
+      in
+      Array.iter
+        (fun (center, count) ->
+          let bar = count * 50 / maxc in
+          Buffer.add_string buf
+            (Printf.sprintf "  %8.0fs |%s\n" center (String.make bar '#')))
+        r.histogram;
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let sanity t =
+  List.concat_map
+    (fun r ->
+      let f = r.fit in
+      [
+        ( Printf.sprintf "%s: MLE recovers mu within 2%%" r.app_name,
+          Float.abs (f.Distributions.Fitting.mu -. r.truth_mu)
+          <= 0.02 *. r.truth_mu );
+        ( Printf.sprintf "%s: MLE recovers sigma within 10%%" r.app_name,
+          Float.abs (f.Distributions.Fitting.sigma -. r.truth_sigma)
+          <= 0.10 *. r.truth_sigma );
+        ( Printf.sprintf "%s: KS distance below 0.05" r.app_name,
+          f.Distributions.Fitting.ks < 0.05 );
+      ])
+    t

@@ -1,0 +1,29 @@
+(** Fig. 1: neuroscience application traces and their LogNormal fits.
+
+    The paper plots 5000+ runs of fMRIQA and VBMQA against fitted
+    LogNormal curves. With the Vanderbilt database unavailable, this
+    experiment generates synthetic traces from the published fits (see
+    [Platform.Traces]) and runs the identical downstream pipeline:
+    fit by log-moment MLE, report the recovered parameters and the
+    Kolmogorov–Smirnov distance, and emit a text histogram of trace
+    vs fitted density. *)
+
+type app_result = {
+  app_name : string;
+  truth_mu : float;  (** Parameter used to generate the trace. *)
+  truth_sigma : float;
+  fit : Distributions.Fitting.lognormal_fit;  (** Recovered by MLE. *)
+  histogram : (float * int) array;  (** (bin center, count) pairs. *)
+}
+
+type t = app_result list
+
+val run : ?cfg:Config.t -> ?runs:int -> unit -> t
+(** [run ()] processes both applications with [runs] (default [5000])
+    synthetic runs each. *)
+
+val to_string : t -> string
+
+val sanity : t -> (string * bool) list
+(** Checks that MLE recovers the generating parameters within a few
+    percent and the KS distance is small. *)

@@ -1,0 +1,53 @@
+type t = {
+  truth_alpha : float;
+  truth_gamma : float;
+  binned : Platform.Hpc_queue.binned;
+  fit : Numerics.Regression.fit;
+  cost_model : Stochastic_core.Cost_model.t;
+}
+
+let run ?(cfg = Config.paper) ?(jobs = 5000) () =
+  let truth_alpha = 0.95 and truth_gamma = 1.05 in
+  let rng = Config.rng_for cfg "fig2" in
+  let log =
+    Platform.Hpc_queue.synthetic_log ~jobs ~alpha:truth_alpha
+      ~gamma:truth_gamma rng
+  in
+  let binned = Platform.Hpc_queue.bin_log ~groups:20 log in
+  let fit = Platform.Hpc_queue.fit binned in
+  {
+    truth_alpha;
+    truth_gamma;
+    binned;
+    fit;
+    cost_model = Platform.Hpc_queue.cost_model_of_fit fit;
+  }
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "ground truth: wait = %.2f * requested + %.2f h\nfitted:       wait = \
+        %.4f * requested + %.4f h   (R^2 = %.4f over %d group means)\n"
+       t.truth_alpha t.truth_gamma t.fit.Numerics.Regression.slope
+       t.fit.Numerics.Regression.intercept t.fit.Numerics.Regression.r_squared
+       t.fit.Numerics.Regression.n);
+  Buffer.add_string buf "group means (requested h -> mean wait h):\n";
+  Array.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %6.2f -> %6.2f\n" c
+           t.binned.Platform.Hpc_queue.mean_waits.(i)))
+    t.binned.Platform.Hpc_queue.centers;
+  Buffer.contents buf
+
+let sanity t =
+  [
+    ( "fitted alpha within 10% of ground truth",
+      Float.abs (t.fit.Numerics.Regression.slope -. t.truth_alpha)
+      <= 0.10 *. t.truth_alpha );
+    ( "fitted gamma within 25% of ground truth",
+      Float.abs (t.fit.Numerics.Regression.intercept -. t.truth_gamma)
+      <= 0.25 *. t.truth_gamma );
+    ("R^2 above 0.95 over group means", t.fit.Numerics.Regression.r_squared > 0.95);
+  ]

@@ -1,0 +1,23 @@
+(** Fig. 2: average queue wait versus requested runtime, with affine
+    fit.
+
+    A synthetic scheduler log (substituting the unavailable Intrepid
+    logs) is binned into 20 groups of similar requested runtime; each
+    group's mean wait is plotted and an affine function fitted through
+    them, recovering the NEUROHPC cost-model coefficients
+    [(alpha ~ 0.95, gamma ~ 1.05 h)]. *)
+
+type t = {
+  truth_alpha : float;
+  truth_gamma : float;
+  binned : Platform.Hpc_queue.binned;  (** The 20 blue points. *)
+  fit : Numerics.Regression.fit;  (** The green line. *)
+  cost_model : Stochastic_core.Cost_model.t;  (** Derived model. *)
+}
+
+val run : ?cfg:Config.t -> ?jobs:int -> unit -> t
+val to_string : t -> string
+
+val sanity : t -> (string * bool) list
+(** Checks the fit recovers the generating coefficients within 10%
+    and explains most of the binned variance. *)

@@ -1,0 +1,85 @@
+module Brute_force = Stochastic_core.Brute_force
+module Cost_model = Stochastic_core.Cost_model
+
+type panel = {
+  dist_name : string;
+  points : (float * float option) array;
+  best_t1 : float;
+  best_cost : float;
+}
+
+type t = panel list
+
+let run ?(cfg = Config.paper) ?(points = 200) () =
+  let cost = Cost_model.reservation_only in
+  List.map
+    (fun (dist_name, d) ->
+      let rng = Config.rng_for cfg (Printf.sprintf "fig3/%s" dist_name) in
+      let evaluator = Brute_force.Monte_carlo { rng; n = cfg.Config.n_mc } in
+      let pts = Brute_force.profile ~m:points ~evaluator cost d in
+      let best_t1 = ref nan and best_cost = ref infinity in
+      Array.iter
+        (fun (t1, c) ->
+          match c with
+          | Some c when c < !best_cost ->
+              best_cost := c;
+              best_t1 := t1
+          | _ -> ())
+        pts;
+      { dist_name; points = pts; best_t1 = !best_t1; best_cost = !best_cost })
+    Distributions.Table1.all
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      let valid =
+        Array.to_list p.points |> List.filter_map (fun (_, c) -> c)
+      in
+      let invalid =
+        Array.length p.points - List.length valid
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: best t1=%.4f cost=%.3f; %d/%d candidates invalid\n"
+           p.dist_name p.best_t1 p.best_cost invalid (Array.length p.points));
+      (* Sparkline: map cost range onto 8 levels, '.' for gaps. *)
+      if valid <> [] then begin
+        let lo = List.fold_left Float.min infinity valid in
+        let hi = List.fold_left Float.max neg_infinity valid in
+        let levels = "12345678" in
+        let line =
+          Array.to_list p.points
+          |> List.map (fun (_, c) ->
+                 match c with
+                 | None -> '.'
+                 | Some c ->
+                     let idx =
+                       if hi > lo then
+                         int_of_float ((c -. lo) /. (hi -. lo) *. 7.0)
+                       else 0
+                     in
+                     levels.[max 0 (min 7 idx)])
+          |> List.to_seq |> String.of_seq
+        in
+        Buffer.add_string buf ("  " ^ line ^ "\n")
+      end)
+    t;
+  Buffer.contents buf
+
+let sanity t =
+  List.concat_map
+    (fun p ->
+      let valid =
+        Array.to_list p.points |> List.filter_map (fun (_, c) -> c)
+      in
+      let worst = List.fold_left Float.max neg_infinity valid in
+      [
+        (Printf.sprintf "%s: a valid minimum exists" p.dist_name,
+         Float.is_finite p.best_cost);
+        ( Printf.sprintf "%s: the curve is not flat" p.dist_name,
+          (* A bounded distribution can have a single valid candidate
+             (Uniform: only t1 = b survives, Theorem 4); the shape
+             check is vacuous there. *)
+          List.length valid < 2 || worst > p.best_cost *. 1.02 );
+      ])
+    t

@@ -1,0 +1,30 @@
+(** Fig. 3: normalized cost of the recurrence sequence as a function
+    of the first reservation [t1], for all nine distributions.
+
+    For each distribution, the BRUTE-FORCE grid is scanned and the
+    normalized cost recorded at every candidate [t1]; candidates whose
+    recurrence is not strictly increasing appear as gaps ([None]),
+    reproducing the holes visible in the paper's figure (e.g. the
+    Exponential panel between quantiles 0.25 and 0.75). *)
+
+type panel = {
+  dist_name : string;
+  points : (float * float option) array;  (** (t1, normalized cost). *)
+  best_t1 : float;
+  best_cost : float;
+}
+
+type t = panel list
+
+val run : ?cfg:Config.t -> ?points:int -> unit -> t
+(** [run ()] scans [points] (default [200]) candidates per
+    distribution — enough to draw the curve; the full-resolution scan
+    is Table 3's job. *)
+
+val to_string : t -> string
+(** ASCII rendering: one sparkline-style block per distribution plus
+    gap statistics. *)
+
+val sanity : t -> (string * bool) list
+(** Checks every panel has a valid minimum and that costs are worse
+    away from it (the curve is not flat). *)

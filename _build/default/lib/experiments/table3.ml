@@ -1,0 +1,78 @@
+module Brute_force = Stochastic_core.Brute_force
+module Cost_model = Stochastic_core.Cost_model
+module Expected_cost = Stochastic_core.Expected_cost
+module Dist = Distributions.Dist
+
+type entry = { t1 : float; cost : float option }
+type row = { dist_name : string; best : entry; quantiles : entry array }
+type t = row list
+
+let quantile_probes = [| 0.25; 0.5; 0.75; 0.99 |]
+
+let run ?(cfg = Config.paper) () =
+  let cost = Cost_model.reservation_only in
+  List.map
+    (fun (dist_name, d) ->
+      let rng = Config.rng_for cfg (Printf.sprintf "table3/%s" dist_name) in
+      let evaluator = Brute_force.Monte_carlo { rng; n = cfg.Config.n_mc } in
+      let r = Brute_force.search ~m:cfg.Config.m ~evaluator cost d in
+      let best =
+        { t1 = r.Brute_force.t1; cost = Some r.Brute_force.normalized }
+      in
+      let quantiles =
+        Array.map
+          (fun q ->
+            let t1 = d.Dist.quantile q in
+            let c =
+              Brute_force.cost_of_t1 ~evaluator cost d t1
+              |> Option.map (fun c -> Expected_cost.normalized cost d ~cost:c)
+            in
+            { t1; cost = c })
+          quantile_probes
+      in
+      { dist_name; best; quantiles })
+    Distributions.Table1.all
+
+let entry_str e =
+  match e.cost with
+  | Some c -> Printf.sprintf "%.2f (%.2f)" e.t1 c
+  | None -> Printf.sprintf "%.2f (-)" e.t1
+
+let to_string t =
+  let header =
+    "Distribution" :: "t1_bf (cost)"
+    :: (Array.to_list quantile_probes
+       |> List.map (fun q -> Printf.sprintf "Q(%.2g) (cost)" q))
+  in
+  let rows =
+    List.map
+      (fun r ->
+        (r.dist_name :: entry_str r.best :: [])
+        @ (Array.to_list r.quantiles |> List.map entry_str))
+      t
+  in
+  Text_table.render ~header rows
+
+let sanity t =
+  let checks = ref [] in
+  let add label ok = checks := (label, ok) :: !checks in
+  List.iter
+    (fun r ->
+      let bf_cost = Option.get r.best.cost in
+      let beats_valid_quantiles =
+        Array.for_all
+          (fun e -> match e.cost with None -> true | Some c -> bf_cost <= c *. 1.10)
+          r.quantiles
+      in
+      add
+        (Printf.sprintf "%s: t1_bf at least matches every valid quantile guess"
+           r.dist_name)
+        beats_valid_quantiles)
+    t;
+  let some_invalid =
+    List.exists
+      (fun r -> Array.exists (fun e -> e.cost = None) r.quantiles)
+      t
+  in
+  add "some quantile candidates produce invalid sequences" some_invalid;
+  List.rev !checks

@@ -1,0 +1,69 @@
+module Strategy = Stochastic_core.Strategy
+module Cost_model = Stochastic_core.Cost_model
+module Discretize = Stochastic_core.Discretize
+
+type t = { ns : int array; rows : (string * float array * float array) list }
+
+let default_ns = [| 10; 25; 50; 100; 250; 500; 1000 |]
+
+let run ?(cfg = Config.paper) ?(ns = default_ns) () =
+  let cost = Cost_model.reservation_only in
+  let eval scheme n dist_name d =
+    let s =
+      Strategy.dp_discretized ~eps:cfg.Config.eps ~scheme ~n ()
+    in
+    let rng =
+      Config.rng_for cfg
+        (Printf.sprintf "table4/%s/%s/%d" dist_name s.Strategy.name n)
+    in
+    Strategy.evaluate ~n:cfg.Config.n_mc ~rng cost d s
+  in
+  let rows =
+    List.map
+      (fun (dist_name, d) ->
+        let et =
+          Array.map (fun n -> eval Discretize.Equal_time n dist_name d) ns
+        in
+        let ep =
+          Array.map
+            (fun n -> eval Discretize.Equal_probability n dist_name d)
+            ns
+        in
+        (dist_name, et, ep))
+      Distributions.Table1.all
+  in
+  { ns; rows }
+
+let to_string t =
+  let scheme_block name get =
+    let header =
+      "Distribution"
+      :: (Array.to_list t.ns |> List.map (fun n -> Printf.sprintf "n=%d" n))
+    in
+    let rows =
+      List.map
+        (fun ((dist_name, _, _) as row) ->
+          dist_name
+          :: (Array.to_list (get row) |> List.map Text_table.fmt_ratio))
+        t.rows
+    in
+    Printf.sprintf "%s\n%s" name (Text_table.render ~header rows)
+  in
+  scheme_block "Equal-time" (fun (_, et, _) -> et)
+  ^ "\n"
+  ^ scheme_block "Equal-probability" (fun (_, _, ep) -> ep)
+
+let sanity t ~brute_force =
+  let last = Array.length t.ns - 1 in
+  List.concat_map
+    (fun (dist_name, et, ep) ->
+      let bf = brute_force dist_name in
+      [
+        ( Printf.sprintf "%s: Equal-time at n=%d close to Brute-Force"
+            dist_name t.ns.(last),
+          et.(last) <= bf *. 1.25 );
+        ( Printf.sprintf "%s: Equal-probability at n=%d close to Brute-Force"
+            dist_name t.ns.(last),
+          ep.(last) <= bf *. 1.25 );
+      ])
+    t.rows

@@ -1,0 +1,81 @@
+module B = Stochastic_core.Brute_force
+module C = Stochastic_core.Cost_model
+module E = Stochastic_core.Expected_cost
+module Dist = Distributions.Dist
+
+type point = {
+  samples : int;
+  interpolated : float;
+  fitted : float;
+  worst_interpolated : float;
+  worst_fitted : float;
+}
+type t = { oracle : float; points : point list }
+
+let run ?(cfg = Config.paper) ?(sample_sizes = [| 50; 200; 1000; 5000 |])
+    ?(replicas = 10) () =
+  let truth =
+    (* VBMQA in hours, as in Fig. 4's base point. *)
+    Dist.scale (1.0 /. 3600.0) Distributions.Lognormal.neuro
+  in
+  let cost = C.neuro_hpc in
+  let m = min cfg.Config.m 1000 in
+  let solve d = (B.search ~m ~evaluator:B.Exact cost d).B.sequence in
+  let true_cost seq = E.normalized cost truth ~cost:(E.exact cost truth seq) in
+  let oracle = true_cost (solve truth) in
+  let points =
+    Array.to_list sample_sizes
+    |> List.map (fun k ->
+           let vi = Array.make replicas 0.0 and vf = Array.make replicas 0.0 in
+           for r = 0 to replicas - 1 do
+             let rng =
+               Config.rng_for cfg (Printf.sprintf "trace_vs_fit/%d/%d" k r)
+             in
+             let trace = Dist.samples truth rng k in
+             let interpolated = Distributions.Empirical.make trace in
+             vi.(r) <- true_cost (solve interpolated);
+             let fit = Distributions.Fitting.lognormal_mle trace in
+             let fitted = Distributions.Fitting.to_dist fit in
+             vf.(r) <- true_cost (solve fitted)
+           done;
+           {
+             samples = k;
+             interpolated = Numerics.Stats.median vi;
+             fitted = Numerics.Stats.median vf;
+             worst_interpolated = Array.fold_left Float.max neg_infinity vi;
+             worst_fitted = Array.fold_left Float.max neg_infinity vf;
+           })
+  in
+  { oracle; points }
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "oracle (true law known): normalized %.4f\n\
+        trace size   interp (median/worst)   fit (median/worst)\n"
+       t.oracle);
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%10d %12.4f / %-9.4f %9.4f / %-9.4f\n" p.samples
+           p.interpolated p.worst_interpolated p.fitted p.worst_fitted))
+    t.points;
+  Buffer.contents buf
+
+let sanity t =
+  match List.rev t.points with
+  | [] -> []
+  | last :: _ ->
+      let thousand =
+        List.find_opt (fun p -> p.samples >= 1000) t.points
+      in
+      [
+        ( "both routes near-oracle at the largest trace",
+          last.interpolated <= t.oracle *. 1.03
+          && last.fitted <= t.oracle *. 1.03 );
+        ( "interpolation competitive from ~1000 samples",
+          match thousand with
+          | None -> true
+          | Some p -> p.interpolated <= t.oracle *. 1.05 );
+      ]

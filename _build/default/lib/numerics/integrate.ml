@@ -1,0 +1,144 @@
+let default_tol = 1e-10
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive Simpson with Richardson extrapolation.                     *)
+(* ------------------------------------------------------------------ *)
+
+let simpson ?(tol = default_tol) ?(max_depth = 48) f a b =
+  let simpson_panel fa fm fb h = h /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+  let rec go a fa b fb m fm whole tol depth =
+    let lm = 0.5 *. (a +. m) in
+    let rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_panel fa flm fm (m -. a) in
+    let right = simpson_panel fm frm fb (b -. m) in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15.0 *. tol then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm lm flm left (tol /. 2.0) (depth - 1)
+      +. go m fm b fb rm frm right (tol /. 2.0) (depth - 1)
+  in
+  if a = b then 0.0
+  else begin
+    let sign, a, b = if a > b then (-1.0, b, a) else (1.0, a, b) in
+    let m = 0.5 *. (a +. b) in
+    let fa = f a and fb = f b and fm = f m in
+    let whole = simpson_panel fa fm fb (b -. a) in
+    sign *. go a fa b fb m fm whole tol max_depth
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gauss–Kronrod 7/15.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Abscissae of the 15-point Kronrod rule on [-1, 1] (positive half;
+   the rule is symmetric). Odd indices are the embedded Gauss nodes. *)
+let xgk =
+  [|
+    0.991455371120813;
+    0.949107912342759;
+    0.864864423359769;
+    0.741531185599394;
+    0.586087235467691;
+    0.405845151377397;
+    0.207784955007898;
+    0.000000000000000;
+  |]
+
+(* Kronrod weights for the nodes above. *)
+let wgk =
+  [|
+    0.022935322010529;
+    0.063092092629979;
+    0.104790010322250;
+    0.140653259715525;
+    0.169004726639267;
+    0.190350578064785;
+    0.204432940075298;
+    0.209482141084728;
+  |]
+
+(* Gauss weights for the embedded 7-point rule (nodes xgk.(1,3,5,7)). *)
+let wg =
+  [|
+    0.129484966168870;
+    0.279705391489277;
+    0.381830050505119;
+    0.417959183673469;
+  |]
+
+let qk15 f a b =
+  let center = 0.5 *. (a +. b) in
+  let half = 0.5 *. (b -. a) in
+  let fc = f center in
+  let result_kronrod = ref (wgk.(7) *. fc) in
+  let result_gauss = ref (wg.(3) *. fc) in
+  for j = 0 to 6 do
+    let x = half *. xgk.(j) in
+    let f1 = f (center -. x) in
+    let f2 = f (center +. x) in
+    let fsum = f1 +. f2 in
+    result_kronrod := !result_kronrod +. (wgk.(j) *. fsum);
+    if j mod 2 = 1 then
+      result_gauss := !result_gauss +. (wg.(j / 2) *. fsum)
+  done;
+  let integral = !result_kronrod *. half in
+  let err = Float.abs ((!result_kronrod -. !result_gauss) *. half) in
+  (integral, err)
+
+let gauss_kronrod ?(tol = default_tol) ?(max_depth = 48) ?(initial = 1) f a b =
+  if initial <= 0 then invalid_arg "Integrate.gauss_kronrod: initial <= 0";
+  let rec go a b tol depth =
+    let integral, err = qk15 f a b in
+    (* A nan integrand poisons the error estimate; subdividing would
+       explore the full 2^depth tree without ever converging, so
+       propagate the nan to the caller instead. *)
+    if Float.is_nan integral then nan
+    else if
+      depth <= 0 || err <= tol
+      (* Roundoff floor: once the estimate is within a few ulps of the
+         panel's own magnitude, refinement cannot improve it and would
+         only blow the recursion tree up. *)
+      || err <= 1e-14 *. Float.abs integral
+    then integral
+    else begin
+      let m = 0.5 *. (a +. b) in
+      go a m (tol /. 2.0) (depth - 1) +. go m b (tol /. 2.0) (depth - 1)
+    end
+  in
+  let run a b =
+    (* Pre-subdividing guards against integrands so peaked that a
+       single K15 panel samples none of the mass and its error
+       estimate reports spurious convergence. *)
+    let h = (b -. a) /. float_of_int initial in
+    let acc = Kahan.create () in
+    for i = 0 to initial - 1 do
+      let lo = a +. (float_of_int i *. h) in
+      Kahan.add acc (go lo (lo +. h) (tol /. float_of_int initial) max_depth)
+    done;
+    Kahan.sum acc
+  in
+  if a = b then 0.0 else if a > b then -.run b a else run a b
+
+let to_infinity ?(tol = default_tol) f a =
+  (* x = a + u / (1 - u), dx = du / (1 - u)^2, u in (0, 1). The
+     transformed integrand is often sharply peaked, so start from a
+     fine uniform subdivision (see gauss_kronrod). *)
+  let g u =
+    let one_minus = 1.0 -. u in
+    let x = a +. (u /. one_minus) in
+    f x /. (one_minus *. one_minus)
+  in
+  gauss_kronrod ~tol ~initial:32 g 0.0 1.0
+
+let trapezoid f a b n =
+  if n <= 0 then invalid_arg "Integrate.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let acc = Kahan.create () in
+  Kahan.add acc (0.5 *. f a);
+  for i = 1 to n - 1 do
+    Kahan.add acc (f (a +. (float_of_int i *. h)))
+  done;
+  Kahan.add acc (0.5 *. f b);
+  h *. Kahan.sum acc

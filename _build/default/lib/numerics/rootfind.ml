@@ -1,0 +1,167 @@
+exception No_bracket of string
+
+let same_sign x y = (x > 0.0 && y > 0.0) || (x < 0.0 && y < 0.0)
+
+let bisection ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    if same_sign fa fb then
+      raise (No_bracket "Rootfind.bisection: f(a) and f(b) have the same sign");
+    let a = ref a and b = ref b and fa = ref fa in
+    let i = ref 0 in
+    while !b -. !a > tol && !i < max_iter do
+      incr i;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0.0 then begin
+        a := m;
+        b := m
+      end
+      else if same_sign !fa fm then begin
+        a := m;
+        fa := fm
+      end
+      else b := m
+    done;
+    0.5 *. (!a +. !b)
+  end
+
+let brent ?(tol = 1e-14) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    if same_sign fa fb then
+      raise (No_bracket "Rootfind.brent: f(a) and f(b) have the same sign");
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    (* Ensure |f(b)| <= |f(a)|: b is the current best iterate. *)
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let i = ref 0 in
+    while !fb <> 0.0 && Float.abs (!b -. !a) > tol && !i < max_iter do
+      incr i;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else
+          (* Secant. *)
+          !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo = ((3.0 *. !a) +. !b) /. 4.0 in
+      let cond1 = not (s > Float.min lo !b && s < Float.max lo !b) in
+      let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+      let cond3 =
+        (not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0
+      in
+      let cond4 = !mflag && Float.abs (!b -. !c) < tol in
+      let cond5 = (not !mflag) && Float.abs (!c -. !d) < tol in
+      let s =
+        if cond1 || cond2 || cond3 || cond4 || cond5 then begin
+          mflag := true;
+          0.5 *. (!a +. !b)
+        end
+        else begin
+          mflag := false;
+          s
+        end
+      in
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if same_sign !fa fs then begin
+        a := s;
+        fa := fs
+      end
+      else begin
+        b := s;
+        fb := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end
+    done;
+    !b
+  end
+
+let newton_safe ?(tol = 1e-13) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    if same_sign flo fhi then
+      raise (No_bracket "Rootfind.newton_safe: interval does not bracket a root");
+    (* Orient so that f(xl) < 0 < f(xh). *)
+    let xl = ref (if flo < 0.0 then lo else hi) in
+    let xh = ref (if flo < 0.0 then hi else lo) in
+    let x = ref (Float.max (Float.min x0 (Float.max lo hi)) (Float.min lo hi)) in
+    let dxold = ref (Float.abs (hi -. lo)) in
+    let dx = ref !dxold in
+    let fx = ref (f !x) in
+    let dfx = ref (df !x) in
+    let i = ref 0 in
+    let finished = ref false in
+    while (not !finished) && !i < max_iter do
+      incr i;
+      let newton_out_of_bracket =
+        ((!x -. !xh) *. !dfx -. !fx) *. ((!x -. !xl) *. !dfx -. !fx) > 0.0
+      in
+      let slow = Float.abs (2.0 *. !fx) > Float.abs (!dxold *. !dfx) in
+      if newton_out_of_bracket || slow || !dfx = 0.0 then begin
+        dxold := !dx;
+        dx := 0.5 *. (!xh -. !xl);
+        x := !xl +. !dx
+      end
+      else begin
+        dxold := !dx;
+        dx := !fx /. !dfx;
+        x := !x -. !dx
+      end;
+      if Float.abs !dx < tol then finished := true
+      else begin
+        fx := f !x;
+        dfx := df !x;
+        if !fx < 0.0 then xl := !x else xh := !x
+      end
+    done;
+    !x
+  end
+
+let expand_bracket ?(factor = 1.6) ?(max_iter = 60) f a b =
+  if a = b then invalid_arg "Rootfind.expand_bracket: empty interval";
+  let a = ref a and b = ref b in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  let i = ref 0 in
+  while same_sign !fa !fb && !i < max_iter do
+    incr i;
+    if Float.abs !fa < Float.abs !fb then begin
+      a := !a +. (factor *. (!a -. !b));
+      fa := f !a
+    end
+    else begin
+      b := !b +. (factor *. (!b -. !a));
+      fb := f !b
+    end
+  done;
+  if same_sign !fa !fb then
+    raise (No_bracket "Rootfind.expand_bracket: no sign change found")
+  else (!a, !b)

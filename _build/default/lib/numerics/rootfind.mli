@@ -1,0 +1,45 @@
+(** Scalar root finding.
+
+    Bracketing solvers used to invert CDFs numerically (empirical and
+    truncated distributions) and as a safeguarded fallback for the
+    special-function inverses. *)
+
+exception No_bracket of string
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisection :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisection ?tol ?max_iter f a b] finds a root of [f] on [[a, b]] by
+    bisection. [tol] (default [1e-12]) bounds the final interval width.
+    @raise No_bracket if [f a] and [f b] have the same strict sign. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [brent ?tol ?max_iter f a b] finds a root with Brent's method
+    (inverse quadratic interpolation + secant + bisection safeguards).
+    Converges superlinearly on smooth functions while retaining the
+    bisection guarantee.
+    @raise No_bracket if [f a] and [f b] have the same strict sign. *)
+
+val newton_safe :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  float ->
+  float
+(** [newton_safe ~f ~df ~lo ~hi x0] runs Newton iterations from [x0],
+    falling back to bisection of [[lo, hi]] whenever a Newton step
+    leaves the bracket or makes insufficient progress.
+    @raise No_bracket if [f lo] and [f hi] have the same strict sign. *)
+
+val expand_bracket :
+  ?factor:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  float * float
+(** [expand_bracket f a b] geometrically expands the interval [[a, b]]
+    until it brackets a sign change of [f], and returns the bracketing
+    pair.
+    @raise No_bracket if no sign change is found after [max_iter]
+    (default [60]) expansions. *)

@@ -1,0 +1,1 @@
+lib/platform/hpc_queue.ml: Array Float Numerics Randomness Stochastic_core

@@ -1,0 +1,1 @@
+lib/platform/hpc_queue.mli: Numerics Randomness Stochastic_core

@@ -1,0 +1,1 @@
+lib/platform/online.ml: Array Distributions Numerics Seq Stochastic_core

@@ -1,0 +1,1 @@
+lib/platform/online.mli: Distributions Randomness Stochastic_core

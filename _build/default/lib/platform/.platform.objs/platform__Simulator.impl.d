@@ -1,0 +1,1 @@
+lib/platform/simulator.ml: Array Distributions Format Numerics Seq Stochastic_core

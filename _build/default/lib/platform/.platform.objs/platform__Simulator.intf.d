@@ -1,0 +1,1 @@
+lib/platform/simulator.mli: Distributions Format Randomness Stochastic_core

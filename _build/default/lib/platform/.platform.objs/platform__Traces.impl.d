@@ -1,0 +1,1 @@
+lib/platform/traces.ml: Array Distributions Fun List Printf String

@@ -1,0 +1,1 @@
+lib/platform/traces.mli: Distributions Randomness

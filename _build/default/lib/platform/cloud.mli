@@ -1,0 +1,50 @@
+(** Cloud pricing model: Reserved Instances vs On-Demand (Sect. 5.2).
+
+    Amazon-AWS-style pricing offers a Reserved-Instance (RI) hourly
+    price [c_RI] for capacity requested in advance and a flexible
+    On-Demand (OD) price [c_OD], with [c_OD / c_RI] up to about 4. A
+    reservation strategy [S] beats running on demand exactly when
+    [c_RI * E(S) <= c_OD * E^o], i.e. when the normalized cost of [S]
+    is below the price ratio. *)
+
+type pricing = {
+  reserved_hourly : float;  (** RI price per hour of reservation. *)
+  on_demand_hourly : float;  (** OD price per hour of actual use. *)
+}
+
+val make_pricing : reserved_hourly:float -> on_demand_hourly:float -> pricing
+(** @raise Invalid_argument unless both prices are positive. *)
+
+val aws_like : pricing
+(** The paper's reference ratio: [c_OD / c_RI = 4]
+    (RI at 0.25, OD at 1.0 per hour). *)
+
+val price_ratio : pricing -> float
+(** [price_ratio p] is [c_OD / c_RI]. *)
+
+val reserved_cost : pricing -> expected_reservation_hours:float -> float
+(** Expected monetary cost of a reservation strategy whose expected
+    total reserved time is the given number of hours. *)
+
+val on_demand_cost : pricing -> Distributions.Dist.t -> float
+(** Expected monetary cost of running jobs from [d] on demand: the
+    omniscient cost [E(X)] at OD price. *)
+
+type verdict = {
+  reserved_total : float;  (** Expected RI cost per job. *)
+  on_demand_total : float;  (** Expected OD cost per job. *)
+  advantage : float;
+      (** [on_demand_total / reserved_total]; [> 1.] means reservations
+          win. *)
+  use_reserved : bool;
+}
+
+val compare_strategies :
+  pricing ->
+  Distributions.Dist.t ->
+  normalized_cost:float ->
+  verdict
+(** [compare_strategies p d ~normalized_cost] decides RI vs OD for a
+    reservation strategy with the given normalized expected cost
+    [E(S)/E^o] under the RESERVATIONONLY model (Sect. 5.2's
+    criterion). *)

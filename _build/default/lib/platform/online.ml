@@ -1,0 +1,95 @@
+module Cost_model = Stochastic_core.Cost_model
+module Strategy = Stochastic_core.Strategy
+module Sequence = Stochastic_core.Sequence
+module Expected_cost = Stochastic_core.Expected_cost
+module Dist = Distributions.Dist
+
+type config = {
+  warmup : int;
+  refit_every : int;
+  strategy : Strategy.t;
+}
+
+let default_config =
+  {
+    warmup = 10;
+    refit_every = 25;
+    strategy = Strategy.brute_force ~m:500 ~n:1000 ~seed:271828 ();
+  }
+
+type trajectory = {
+  costs : float array;
+  normalized_prefix_mean : float array;
+  refits : int;
+}
+
+(* Model-free bootstrap rule: double from (a bit above) the running
+   mean of the observations seen so far, or from 1.0 with no data. *)
+let bootstrap_sequence observations =
+  let start =
+    if observations = [] then 1.0
+    else begin
+      let a = Array.of_list observations in
+      1.2 *. Numerics.Stats.mean a
+    end
+  in
+  Sequence.sanitize ~support:(Dist.Unbounded 0.0)
+    (Seq.unfold (fun v -> Some (v, 2.0 *. v)) start)
+
+let run ?(config = default_config) ~jobs m truth rng =
+  if jobs <= 0 then invalid_arg "Online.run: jobs must be positive";
+  let observations = ref [] in
+  let count = ref 0 in
+  let refits = ref 0 in
+  let current_sequence = ref (bootstrap_sequence []) in
+  let maybe_refit () =
+    if
+      !count >= config.warmup
+      && (!count = config.warmup || !count mod config.refit_every = 0)
+    then begin
+      match
+        Distributions.Fitting.lognormal_mle
+          (Array.of_list !observations)
+      with
+      | exception Invalid_argument _ -> ()
+      | fit ->
+          let model = Distributions.Fitting.to_dist fit in
+          current_sequence := config.strategy.Strategy.build m model;
+          incr refits
+    end
+  in
+  let costs =
+    Array.init jobs (fun _ ->
+        let duration = truth.Dist.sample rng in
+        let _, cost = Sequence.cost_of_run m !current_sequence duration in
+        observations := duration :: !observations;
+        incr count;
+        maybe_refit ();
+        cost)
+  in
+  let omniscient = Expected_cost.omniscient m truth in
+  let normalized_prefix_mean =
+    let acc = Numerics.Kahan.create () in
+    Array.mapi
+      (fun i c ->
+        Numerics.Kahan.add acc c;
+        Numerics.Kahan.sum acc /. float_of_int (i + 1) /. omniscient)
+      costs
+  in
+  { costs; normalized_prefix_mean; refits = !refits }
+
+let final_normalized t =
+  let n = Array.length t.costs in
+  let k = max 1 (n / 4) in
+  let acc = Numerics.Kahan.create () in
+  for i = n - k to n - 1 do
+    Numerics.Kahan.add acc t.costs.(i)
+  done;
+  (* The prefix means are already normalized; recover the omniscient
+     scale from them instead of recomputing. *)
+  let total_mean = t.normalized_prefix_mean.(n - 1) in
+  let raw_mean =
+    Numerics.Kahan.sum acc /. float_of_int k
+  in
+  let overall_raw = Numerics.Stats.mean t.costs in
+  raw_mean /. overall_raw *. total_mean

@@ -1,0 +1,1 @@
+lib/randomness/rng.mli:

@@ -1,0 +1,1 @@
+lib/randomness/sampler.ml: Rng

@@ -1,0 +1,83 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let default_seed = 0x5DEECE66D
+
+(* splitmix64: turns an arbitrary integer seed into well-mixed state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ?(seed = default_seed) () =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tshift = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tshift;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Reseed a fresh generator from the parent's stream via splitmix64,
+     mirroring how xoshiro generators are forked in practice. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let float t =
+  (* Take the top 53 bits for a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_open t =
+  let x = float t in
+  if x > 0.0 then x else 0x1.0p-53
+
+let uniform t a b =
+  if a > b then invalid_arg "Rng.uniform: a > b";
+  a +. ((b -. a) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: n must be positive";
+  (* Rejection sampling over the smallest power-of-two envelope keeps
+     the draw exactly uniform. *)
+  let nl = Int64.of_int n in
+  let mask =
+    let rec go m = if Int64.unsigned_compare m nl >= 0 then m else go (Int64.add (Int64.mul m 2L) 1L) in
+    go 1L
+  in
+  let rec draw () =
+    let v = Int64.logand (bits64 t) mask in
+    if Int64.unsigned_compare v nl < 0 then Int64.to_int v else draw ()
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

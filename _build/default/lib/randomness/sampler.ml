@@ -1,0 +1,93 @@
+let standard_normal rng =
+  (* Marsaglia polar method; the spare variate is intentionally not
+     cached so that the draw count per call is state-independent. *)
+  let rec go () =
+    let u = (2.0 *. Rng.float rng) -. 1.0 in
+    let v = (2.0 *. Rng.float rng) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then go ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  go ()
+
+let normal rng ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Sampler.normal: sigma must be positive";
+  mu +. (sigma *. standard_normal rng)
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Sampler.exponential: rate must be positive";
+  -.log (Rng.float_open rng) /. rate
+
+let rec gamma rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Sampler.gamma: shape and scale must be positive";
+  if shape < 1.0 then begin
+    (* Boost: Gamma(a) = Gamma(a+1) * U^(1/a). *)
+    let x = gamma rng ~shape:(shape +. 1.0) ~scale in
+    let u = Rng.float_open rng in
+    x *. (u ** (1.0 /. shape))
+  end
+  else begin
+    (* Marsaglia–Tsang. *)
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec go () =
+      let x = standard_normal rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then go ()
+      else begin
+        let v = v *. v *. v in
+        let u = Rng.float_open rng in
+        let x2 = x *. x in
+        if u < 1.0 -. (0.0331 *. x2 *. x2) then d *. v
+        else if log u < (0.5 *. x2) +. (d *. (1.0 -. v +. log v)) then d *. v
+        else go ()
+      end
+    in
+    scale *. go ()
+  end
+
+let beta rng ~a ~b =
+  if a <= 0.0 || b <= 0.0 then
+    invalid_arg "Sampler.beta: a and b must be positive";
+  let x = gamma rng ~shape:a ~scale:1.0 in
+  let y = gamma rng ~shape:b ~scale:1.0 in
+  x /. (x +. y)
+
+let lognormal rng ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Sampler.lognormal: sigma must be positive";
+  exp (normal rng ~mu ~sigma)
+
+let weibull rng ~lambda ~k =
+  if lambda <= 0.0 || k <= 0.0 then
+    invalid_arg "Sampler.weibull: lambda and k must be positive";
+  lambda *. ((-.log (Rng.float_open rng)) ** (1.0 /. k))
+
+let pareto rng ~nu ~alpha =
+  if nu <= 0.0 || alpha <= 0.0 then
+    invalid_arg "Sampler.pareto: nu and alpha must be positive";
+  nu /. (Rng.float_open rng ** (1.0 /. alpha))
+
+let truncated_normal rng ~mu ~sigma ~lower =
+  if sigma <= 0.0 then
+    invalid_arg "Sampler.truncated_normal: sigma must be positive";
+  let a = (lower -. mu) /. sigma in
+  if a <= 2.0 then begin
+    (* Plain rejection from the parent normal: acceptance probability is
+       1 - Phi(a) >= 0.023 for a <= 2, so this terminates quickly. *)
+    let rec go () =
+      let z = standard_normal rng in
+      if z >= a then z else go ()
+    in
+    mu +. (sigma *. go ())
+  end
+  else begin
+    (* Deep upper tail: Robert's exponential-tilting rejection. *)
+    let lambda = (a +. sqrt ((a *. a) +. 4.0)) /. 2.0 in
+    let rec go () =
+      let z = a +. (-.log (Rng.float_open rng) /. lambda) in
+      let rho = exp (-.((z -. lambda) ** 2.0) /. 2.0) in
+      if Rng.float rng <= rho then z else go ()
+    in
+    mu +. (sigma *. go ())
+  end

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Array Distributions Experiments Float List String

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Distributions Float List QCheck QCheck_alcotest Seq Stochastic_core

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Distributions Float Numerics Printf Randomness Seq Stochastic_core

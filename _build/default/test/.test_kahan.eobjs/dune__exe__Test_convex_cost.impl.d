@@ -1,0 +1,1 @@
+test/test_convex_cost.ml: Alcotest Distributions Float List Printf QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Float QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_discrete.ml: Alcotest Array Distributions Gen Hashtbl List QCheck QCheck_alcotest Randomness

@@ -1,0 +1,1 @@
+test/test_discretize.ml: Alcotest Array Distributions Float List Printf QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Distributions Float List QCheck QCheck_alcotest Randomness Stochastic_core

@@ -1,0 +1,1 @@
+test/test_empirical.ml: Alcotest Array Distributions Float Gen List Numerics QCheck QCheck_alcotest Randomness Stochastic_core

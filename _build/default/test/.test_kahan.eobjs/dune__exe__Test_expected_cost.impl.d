@@ -1,0 +1,1 @@
+test/test_expected_cost.ml: Alcotest Array Distributions Float Gen List Numerics QCheck QCheck_alcotest Randomness Seq Stochastic_core

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Distributions Experiments List Platform Randomness String

@@ -1,0 +1,1 @@
+test/test_exponential_opt.ml: Alcotest Distributions Float List QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_extended_distributions.ml: Alcotest Distributions Float List Numerics Printf QCheck QCheck_alcotest Randomness Stochastic_core

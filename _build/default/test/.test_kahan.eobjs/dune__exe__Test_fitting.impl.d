@@ -1,0 +1,1 @@
+test/test_fitting.ml: Alcotest Distributions Float QCheck QCheck_alcotest Randomness

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Distributions Float List Printf Randomness Stochastic_core

@@ -1,0 +1,1 @@
+test/test_hpc_queue.ml: Alcotest Array Numerics Platform QCheck QCheck_alcotest Randomness Stochastic_core

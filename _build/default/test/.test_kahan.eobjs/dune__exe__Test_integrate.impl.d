@@ -1,0 +1,1 @@
+test/test_integrate.ml: Alcotest Float Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_moldable.ml: Alcotest Array Distributions Float Numerics Printf QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Distributions Platform Printf Randomness Stochastic_core

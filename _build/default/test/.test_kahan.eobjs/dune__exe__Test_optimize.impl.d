@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Float Numerics QCheck QCheck_alcotest

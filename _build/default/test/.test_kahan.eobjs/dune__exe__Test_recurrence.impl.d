@@ -1,0 +1,1 @@
+test/test_recurrence.ml: Alcotest Array Distributions Float List Printf QCheck QCheck_alcotest Stochastic_core

@@ -1,0 +1,1 @@
+test/test_rootfind.ml: Alcotest Float Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sequence.ml: Alcotest Array Distributions Float Gen List QCheck QCheck_alcotest Seq Stochastic_core

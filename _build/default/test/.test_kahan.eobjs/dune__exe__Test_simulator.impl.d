@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Distributions Float Platform Randomness Stochastic_core

@@ -1,0 +1,1 @@
+test/test_specfun.ml: Alcotest Float Numerics QCheck QCheck_alcotest

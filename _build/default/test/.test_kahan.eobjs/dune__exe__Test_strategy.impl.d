@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Distributions Float List Randomness Stochastic_core

@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Array Distributions Filename Float Fun Numerics Platform Randomness Sys

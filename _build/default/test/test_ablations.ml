@@ -1,0 +1,117 @@
+(* Integration tests for the ablation experiments (beyond the paper's
+   own artefacts): BRUTE-FORCE resolution, truncation eps, and
+   model-misspecification robustness. *)
+
+let cfg = Experiments.Config.quick
+
+let assert_sanity checks =
+  List.iter
+    (fun (label, ok) -> if not ok then Alcotest.failf "sanity failed: %s" label)
+    checks
+
+let test_ablation_bf () =
+  let t =
+    Experiments.Ablation_bf.run ~cfg ~ms:[| 10; 100; 500 |] ~ns:[| 100; 500 |]
+      ~dists:[ ("Exponential", Distributions.Exponential.default) ]
+      ()
+  in
+  Alcotest.(check int) "one distribution" 1 (List.length t);
+  assert_sanity (Experiments.Ablation_bf.sanity t);
+  let r = List.hd t in
+  Alcotest.(check int) "m sweep points" 3
+    (Array.length r.Experiments.Ablation_bf.m_sweep);
+  (* Exact normalized cost is a true expected-cost ratio: >= 1. *)
+  Array.iter
+    (fun p ->
+      if p.Experiments.Ablation_bf.exact_normalized < 1.0 then
+        Alcotest.failf "normalized %f below 1"
+          p.Experiments.Ablation_bf.exact_normalized)
+    r.Experiments.Ablation_bf.m_sweep
+
+let test_ablation_bf_optimism_positive_at_tiny_n () =
+  (* With very few MC samples the winner's estimate is clearly
+     optimistic (selection bias) — the effect EXPERIMENTS.md uses to
+     explain the Table 2 brute-force deviation. *)
+  let t =
+    Experiments.Ablation_bf.run ~cfg ~ms:[| 200 |] ~ns:[| 20 |]
+      ~dists:[ ("Lognormal", Distributions.Lognormal.default) ]
+      ()
+  in
+  let r = List.hd t in
+  let p = r.Experiments.Ablation_bf.n_sweep.(0) in
+  Alcotest.(check bool) "optimism is positive at N=20" true
+    (p.Experiments.Ablation_bf.optimism > 0.0)
+
+let test_ablation_eps () =
+  let t =
+    Experiments.Ablation_eps.run ~cfg ~epss:[| 1e-2; 1e-7 |] ~n:200 ()
+  in
+  Alcotest.(check int) "six unbounded distributions" 6
+    (List.length t.Experiments.Ablation_eps.rows);
+  (* Costs are finite normalized ratios. *)
+  List.iter
+    (fun (_, et, ep) ->
+      Array.iter
+        (fun v -> if not (Float.is_finite v && v >= 1.0) then
+            Alcotest.failf "bad eps-sweep value %f" v)
+        (Array.append et ep))
+    t.Experiments.Ablation_eps.rows
+
+let test_ablation_eps_sanity_at_paper_setting () =
+  let t = Experiments.Ablation_eps.run ~cfg ~n:300 () in
+  assert_sanity (Experiments.Ablation_eps.sanity t)
+
+let test_table2x () =
+  let t = Experiments.Table2x.run ~cfg () in
+  Alcotest.(check int) "six extended distributions" 6
+    (List.length t.Experiments.Table2x.rows);
+  Alcotest.(check int) "nine strategies" 9
+    (Array.length t.Experiments.Table2x.strategy_names);
+  assert_sanity (Experiments.Table2x.sanity t)
+
+let test_robustness () =
+  let t =
+    Experiments.Robustness.run ~cfg ~sample_sizes:[| 10; 200; 2000 |]
+      ~replicas:6 ()
+  in
+  Alcotest.(check int) "three sweep points" 3
+    (List.length t.Experiments.Robustness.points);
+  assert_sanity (Experiments.Robustness.sanity t);
+  (* Printing works and mentions the oracle. *)
+  let s = Experiments.Robustness.to_string t in
+  Alcotest.(check bool) "rendering nonempty" true (String.length s > 50)
+
+let test_trace_vs_fit () =
+  let t =
+    Experiments.Trace_vs_fit.run ~cfg ~sample_sizes:[| 100; 1500 |]
+      ~replicas:4 ()
+  in
+  Alcotest.(check int) "two sweep points" 2
+    (List.length t.Experiments.Trace_vs_fit.points);
+  assert_sanity (Experiments.Trace_vs_fit.sanity t);
+  (* The worst replica is never better than the median. *)
+  List.iter
+    (fun p ->
+      let open Experiments.Trace_vs_fit in
+      if p.worst_interpolated < p.interpolated -. 1e-9 then
+        Alcotest.fail "worst below median (interpolated)";
+      if p.worst_fitted < p.fitted -. 1e-9 then
+        Alcotest.fail "worst below median (fitted)")
+    t.Experiments.Trace_vs_fit.points
+
+let () =
+  Alcotest.run "ablations"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "brute-force resolution" `Slow test_ablation_bf;
+          Alcotest.test_case "selection optimism" `Slow
+            test_ablation_bf_optimism_positive_at_tiny_n;
+          Alcotest.test_case "eps sweep" `Slow test_ablation_eps;
+          Alcotest.test_case "eps paper setting" `Slow
+            test_ablation_eps_sanity_at_paper_setting;
+          Alcotest.test_case "extended table2" `Slow test_table2x;
+          Alcotest.test_case "robustness" `Slow test_robustness;
+          Alcotest.test_case "trace vs fit" `Slow test_trace_vs_fit;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+(* Tests for the Theorem 2 bounds. *)
+
+module B = Stochastic_core.Bounds
+module C = Stochastic_core.Cost_model
+module E = Stochastic_core.Expected_cost
+module Dist = Distributions.Dist
+
+let rel_close ?(tol = 1e-9) name expected got =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (got -. expected) /. scale > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let test_a1_reservation_only_exponential () =
+  (* Exp(1), alpha = 1, beta = gamma = 0, a = 0: Eq. (6) gives
+     A1 = E[X] + 1 + E[X^2]/2 + E[X] = 1 + 1 + 1 + 1 = 4. *)
+  let d = Distributions.Exponential.default in
+  rel_close "A1 for Exp(1)" 4.0 (B.a1 C.reservation_only d);
+  rel_close "A2 = alpha A1" 4.0 (B.a2 C.reservation_only d)
+
+let test_a1_general_model () =
+  (* Hand-evaluated Eq. (6) with alpha=2, beta=1, gamma=0.5 on Exp(1):
+     A1 = 1 + 1 + (3/4) * 2 + (3.5/2) * 1 = 5.25. *)
+  let d = Distributions.Exponential.default in
+  let m = C.make ~alpha:2.0 ~beta:1.0 ~gamma:0.5 () in
+  rel_close "A1 general" 5.25 (B.a1 m d);
+  (* A2 = beta E[X] + alpha A1 + gamma = 1 + 10.5 + 0.5. *)
+  rel_close "A2 general" 12.0 (B.a2 m d)
+
+let test_a1_nonzero_lower_bound () =
+  (* Pareto(1.5, 3): a = 1.5, E[X] = 2.25, E[X^2] = var + mean^2 =
+     27/16 + 81/16 = 6.75. Under RESERVATIONONLY:
+     A1 = 2.25 + 1 + (6.75 - 2.25)/2 + (2.25 - 1.5) = 6.25. *)
+  let d = Distributions.Pareto.default in
+  rel_close "A1 for Pareto" 6.25 (B.a1 C.reservation_only d)
+
+let test_search_interval () =
+  let u = Distributions.Uniform_dist.default in
+  let a, b = B.search_interval C.reservation_only u in
+  rel_close "bounded lower" 10.0 a;
+  rel_close "bounded upper" 20.0 b;
+  let e = Distributions.Exponential.default in
+  let a, b = B.search_interval C.reservation_only e in
+  rel_close "unbounded lower" 0.0 a;
+  rel_close "unbounded upper is A1" 4.0 b
+
+let test_a2_bounds_unit_step_sequence () =
+  (* Theorem 2's proof exhibits the sequence t_i = a + i whose cost is
+     at most A2; verify the claim numerically for several laws. *)
+  List.iter
+    (fun (name, d) ->
+      if not (Dist.is_bounded d) then begin
+        let m = C.make ~alpha:1.0 ~beta:0.5 ~gamma:0.25 () in
+        let a = Dist.lower d in
+        let s = Seq.ints 1 |> Seq.map (fun i -> a +. float_of_int i) in
+        let cost = E.exact m d s in
+        let a2 = B.a2 m d in
+        if cost > a2 +. 1e-6 then
+          Alcotest.failf "%s: unit-step cost %.6f exceeds A2 = %.6f" name cost
+            a2
+      end)
+    Distributions.Table1.all
+
+let test_a2_bounds_optimum () =
+  (* The optimal Exp(1) cost must respect A2 as well. *)
+  let sol = Stochastic_core.Exponential_opt.solve () in
+  let d = Distributions.Exponential.default in
+  Alcotest.(check bool) "E1 <= A2" true
+    (sol.Stochastic_core.Exponential_opt.e1 <= B.a2 C.reservation_only d)
+
+let prop_a1_grows_with_beta =
+  QCheck.Test.make ~count:200 ~name:"A1 is nondecreasing in beta"
+    QCheck.(pair (float_range 0.0 3.0) (float_range 0.0 3.0))
+    (fun (b1, b2) ->
+      let d = Distributions.Lognormal.default in
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      B.a1 (C.make ~beta:lo ()) d <= B.a1 (C.make ~beta:hi ()) d +. 1e-9)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "A1 Exp reservation-only" `Quick
+            test_a1_reservation_only_exponential;
+          Alcotest.test_case "A1 general model" `Quick test_a1_general_model;
+          Alcotest.test_case "A1 with a > 0" `Quick test_a1_nonzero_lower_bound;
+          Alcotest.test_case "search interval" `Quick test_search_interval;
+          Alcotest.test_case "A2 bounds the unit-step sequence" `Quick
+            test_a2_bounds_unit_step_sequence;
+          Alcotest.test_case "A2 bounds the optimum" `Quick test_a2_bounds_optimum;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_a1_grows_with_beta ]);
+    ]

@@ -1,0 +1,130 @@
+(* Tests for the BRUTE-FORCE heuristic (Sect. 4.1). *)
+
+module B = Stochastic_core.Brute_force
+module C = Stochastic_core.Cost_model
+module E = Stochastic_core.Expected_cost
+module Dist = Distributions.Dist
+
+let rel_close ?(tol = 1e-6) name expected got =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (got -. expected) /. scale > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let test_uniform_finds_theorem4_optimum () =
+  (* Theorem 4: optimal sequence for Uniform(a, b) is the single
+     reservation (b), for any cost parameters. *)
+  List.iter
+    (fun m ->
+      let d = Distributions.Uniform_dist.default in
+      let r = B.search ~m:1000 ~evaluator:B.Exact m d in
+      rel_close "t1 = b" 20.0 r.B.t1 ~tol:1e-9;
+      match Stochastic_core.Sequence.take 2 r.B.sequence with
+      | [ only ] -> rel_close "single reservation" 20.0 only ~tol:1e-9
+      | other ->
+          Alcotest.failf "expected singleton sequence, got %d elements"
+            (List.length other))
+    [
+      C.reservation_only;
+      C.make ~alpha:2.0 ~beta:1.5 ~gamma:0.7 ();
+      C.neuro_hpc;
+    ]
+
+let test_uniform_normalized_cost () =
+  (* For Uniform(10, 20) under RESERVATIONONLY, the optimum costs
+     b / E[X] = 20/15 = 4/3. *)
+  let d = Distributions.Uniform_dist.default in
+  let r = B.search ~m:500 ~evaluator:B.Exact C.reservation_only d in
+  rel_close "normalized 4/3" (4.0 /. 3.0) r.B.normalized ~tol:1e-9
+
+let test_exponential_matches_dedicated_solver () =
+  let d = Distributions.Exponential.default in
+  let r = B.search ~m:5000 ~evaluator:B.Exact C.reservation_only d in
+  let sol = Stochastic_core.Exponential_opt.solve () in
+  rel_close "cost matches Prop. 2 solver" sol.Stochastic_core.Exponential_opt.e1
+    r.B.cost ~tol:5e-3
+
+let test_profile_has_gaps () =
+  (* Fig. 3: parts of the Exp search interval yield invalid sequences
+     (e.g. around the median), visible as None in the profile. *)
+  let d = Distributions.Exponential.default in
+  let profile = B.profile ~m:200 ~evaluator:B.Exact C.reservation_only d in
+  let invalid = Array.exists (fun (_, c) -> c = None) profile in
+  let valid = Array.exists (fun (_, c) -> c <> None) profile in
+  Alcotest.(check bool) "profile has invalid candidates" true invalid;
+  Alcotest.(check bool) "profile has valid candidates" true valid;
+  Alcotest.(check int) "profile covers the grid" 200 (Array.length profile)
+
+let test_cost_of_t1 () =
+  let d = Distributions.Exponential.default in
+  let m = C.reservation_only in
+  (* The Exp median collapses (Table 3 prints "-"). *)
+  Alcotest.(check bool) "median invalid" true
+    (B.cost_of_t1 ~evaluator:B.Exact m d (d.Dist.quantile 0.5) = None);
+  (* A t1 near the optimum is valid and close to E1. *)
+  (match B.cost_of_t1 ~evaluator:B.Exact m d 0.75 with
+  | None -> Alcotest.fail "t1 = 0.75 should be valid"
+  | Some c -> rel_close "near-optimal cost" 2.3645 c ~tol:1e-3)
+
+let test_monte_carlo_evaluator_reproducible () =
+  let d = Distributions.Lognormal.default in
+  let m = C.reservation_only in
+  let run () =
+    let rng = Randomness.Rng.create ~seed:15 () in
+    B.search ~m:300 ~evaluator:(B.Monte_carlo { rng; n = 500 }) m d
+  in
+  let r1 = run () and r2 = run () in
+  rel_close "same seed, same t1" r1.B.t1 r2.B.t1 ~tol:0.0;
+  rel_close "same seed, same cost" r1.B.cost r2.B.cost ~tol:0.0
+
+let test_counts () =
+  let d = Distributions.Exponential.default in
+  let r = B.search ~m:100 ~evaluator:B.Exact C.reservation_only d in
+  Alcotest.(check int) "candidates = m" 100 r.B.candidates;
+  Alcotest.(check bool) "some valid, not all" true
+    (r.B.valid > 0 && r.B.valid < 100)
+
+let test_all_distributions_beat_naive () =
+  (* Brute force must never lose (exact evaluation) to the plain
+     MEAN-DOUBLING heuristic by more than numerical slack. *)
+  List.iter
+    (fun (name, d) ->
+      let m = C.reservation_only in
+      let bf = B.search ~m:800 ~evaluator:B.Exact m d in
+      let doubling =
+        E.exact m d (Stochastic_core.Heuristics.mean_doubling d)
+      in
+      if bf.B.cost > doubling +. 1e-6 then
+        Alcotest.failf "%s: brute force %.4f worse than doubling %.4f" name
+          bf.B.cost doubling)
+    Distributions.Table1.all
+
+let prop_search_respects_interval =
+  QCheck.Test.make ~count:20 ~name:"t1 lies in the Theorem 2 interval"
+    QCheck.(oneofl (List.map snd Distributions.Table1.all))
+    (fun d ->
+      let m = C.reservation_only in
+      let lo, hi = Stochastic_core.Bounds.search_interval m d in
+      let r = B.search ~m:200 ~evaluator:B.Exact m d in
+      r.B.t1 > lo && r.B.t1 <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "brute_force"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "uniform Theorem 4" `Quick
+            test_uniform_finds_theorem4_optimum;
+          Alcotest.test_case "uniform normalized" `Quick test_uniform_normalized_cost;
+          Alcotest.test_case "exp matches solver" `Quick
+            test_exponential_matches_dedicated_solver;
+          Alcotest.test_case "profile gaps" `Quick test_profile_has_gaps;
+          Alcotest.test_case "cost_of_t1" `Quick test_cost_of_t1;
+          Alcotest.test_case "MC reproducible" `Quick
+            test_monte_carlo_evaluator_reproducible;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "beats naive everywhere" `Slow
+            test_all_distributions_beat_naive;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_search_respects_interval ] );
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the Appendix C convex-cost extension. *)
+
+module G = Stochastic_core.Convex_cost
+module C = Stochastic_core.Cost_model
+module R = Stochastic_core.Recurrence
+module E = Stochastic_core.Expected_cost
+module S = Stochastic_core.Sequence
+
+let rel_close ?(tol = 1e-9) name expected got =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (got -. expected) /. scale > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let affine_model = C.make ~alpha:1.5 ~beta:0.5 ~gamma:0.3 ()
+
+let test_of_affine_embeds () =
+  let g = G.of_affine affine_model in
+  rel_close "G(2)" ((1.5 *. 2.0) +. 0.3) (g.G.g 2.0);
+  rel_close "G'(7)" 1.5 (g.G.g' 7.0);
+  rel_close "G_inv(G(4)) = 4" 4.0 (g.G.g_inv (g.G.g 4.0));
+  rel_close "beta copied" 0.5 g.G.beta
+
+let test_affine_recurrence_agrees () =
+  (* Eq. (37) with an affine G must reduce to Eq. (11). *)
+  let d = Distributions.Exponential.default in
+  let g = G.of_affine affine_model in
+  List.iter
+    (fun (p2, p1) ->
+      rel_close
+        (Printf.sprintf "next at (%g, %g)" p2 p1)
+        (R.next affine_model d ~t_prev2:p2 ~t_prev1:p1)
+        (G.next g d ~t_prev2:p2 ~t_prev1:p1))
+    [ (0.0, 0.5); (0.5, 1.2); (1.2, 2.5) ]
+
+let test_affine_expected_cost_agrees () =
+  let d = Distributions.Lognormal.default in
+  let g = G.of_affine affine_model in
+  let seq =
+    S.sanitize ~support:d.Distributions.Dist.support
+      (List.to_seq [ 15.0; 40.0; 100.0 ])
+  in
+  rel_close "Eq. (4) agreement"
+    (E.exact affine_model d seq)
+    (G.expected_cost g d seq)
+    ~tol:1e-9
+
+let test_quadratic_validation () =
+  Alcotest.(check bool) "a <= 0 rejected" true
+    (try ignore (G.quadratic ~a:0.0 ~b:1.0 ~c:0.0 ~beta:0.0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative beta rejected" true
+    (try ignore (G.quadratic ~a:1.0 ~b:0.0 ~c:0.0 ~beta:(-1.0)); false
+     with Invalid_argument _ -> true)
+
+let test_quadratic_inverse () =
+  let g = G.quadratic ~a:2.0 ~b:3.0 ~c:1.0 ~beta:0.2 in
+  List.iter
+    (fun x -> rel_close (Printf.sprintf "g_inv(g(%g))" x) x (g.G.g_inv (g.G.g x)))
+    [ 0.0; 0.5; 1.0; 4.0; 10.0 ]
+
+let test_quadratic_search_on_exponential () =
+  (* A quadratic reservation cost on Exp(1): search must return a
+     valid first reservation with finite cost, and the cost must beat
+     a deliberately bad start. *)
+  let d = Distributions.Exponential.default in
+  let g = G.quadratic ~a:0.5 ~b:1.0 ~c:0.0 ~beta:0.0 in
+  let t1, cost = G.search ~m:400 g d ~upper:3.0 in
+  Alcotest.(check bool) "t1 in range" true (t1 > 0.0 && t1 <= 3.0);
+  Alcotest.(check bool) "finite cost" true (Float.is_finite cost);
+  let bad = G.expected_cost g d (G.sequence g d ~t1:2.9) in
+  Alcotest.(check bool) "search at least matches a bad start" true
+    (cost <= bad +. 1e-9)
+
+let test_quadratic_sequence_increasing () =
+  let d = Distributions.Exponential.default in
+  let g = G.quadratic ~a:0.5 ~b:1.0 ~c:0.0 ~beta:0.3 in
+  let s = S.take 20 (G.sequence g d ~t1:0.8) in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sanitized increasing" true (increasing s)
+
+let prop_affine_equivalence =
+  QCheck.Test.make ~count:100 ~name:"affine embedding matches Eq. (11) everywhere"
+    QCheck.(
+      triple (float_range 0.5 3.0) (float_range 0.0 2.0) (float_range 0.1 2.0))
+    (fun (alpha, beta, t1) ->
+      let m = C.make ~alpha ~beta ~gamma:0.1 () in
+      let g = G.of_affine m in
+      let d = Distributions.Exponential.default in
+      let a = R.next m d ~t_prev2:0.0 ~t_prev1:t1 in
+      let b = G.next g d ~t_prev2:0.0 ~t_prev1:t1 in
+      Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+
+let () =
+  Alcotest.run "convex_cost"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_affine embeds" `Quick test_of_affine_embeds;
+          Alcotest.test_case "recurrence agreement" `Quick
+            test_affine_recurrence_agrees;
+          Alcotest.test_case "expected cost agreement" `Quick
+            test_affine_expected_cost_agrees;
+          Alcotest.test_case "quadratic validation" `Quick test_quadratic_validation;
+          Alcotest.test_case "quadratic inverse" `Quick test_quadratic_inverse;
+          Alcotest.test_case "quadratic search" `Quick
+            test_quadratic_search_on_exponential;
+          Alcotest.test_case "quadratic sequence" `Quick
+            test_quadratic_sequence_increasing;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_affine_equivalence ]);
+    ]

@@ -1,0 +1,62 @@
+(* Tests for the affine cost model (Eq. (1)). *)
+
+module C = Stochastic_core.Cost_model
+
+let close = Alcotest.(check (float 1e-12))
+
+let test_defaults () =
+  let m = C.reservation_only in
+  close "alpha" 1.0 m.C.alpha;
+  close "beta" 0.0 m.C.beta;
+  close "gamma" 0.0 m.C.gamma
+
+let test_neuro_hpc () =
+  let m = C.neuro_hpc in
+  close "alpha" 0.95 m.C.alpha;
+  close "beta" 1.0 m.C.beta;
+  close "gamma" 1.05 m.C.gamma
+
+let test_reservation_cost () =
+  let m = C.make ~alpha:2.0 ~beta:0.5 ~gamma:1.0 () in
+  (* Successful reservation: job shorter than the slot. *)
+  close "success" ((2.0 *. 4.0) +. (0.5 *. 3.0) +. 1.0)
+    (C.reservation_cost m ~reserved:4.0 ~actual:3.0);
+  (* Failed reservation: full slot is consumed. *)
+  close "failure" ((2.0 *. 4.0) +. (0.5 *. 4.0) +. 1.0)
+    (C.reservation_cost m ~reserved:4.0 ~actual:9.0)
+
+let test_validation () =
+  Alcotest.check_raises "alpha = 0"
+    (Invalid_argument "Cost_model.make: alpha must be > 0") (fun () ->
+      ignore (C.make ~alpha:0.0 ()));
+  Alcotest.check_raises "beta < 0"
+    (Invalid_argument "Cost_model.make: beta must be >= 0") (fun () ->
+      ignore (C.make ~beta:(-1.0) ()));
+  Alcotest.check_raises "gamma < 0"
+    (Invalid_argument "Cost_model.make: gamma must be >= 0") (fun () ->
+      ignore (C.make ~gamma:(-0.1) ()))
+
+let prop_cost_monotone_in_reservation =
+  QCheck.Test.make ~count:300 ~name:"cost grows with reservation length"
+    QCheck.(
+      quad (float_range 0.1 10.0) (float_range 0.0 5.0) (float_range 0.0 5.0)
+        (pair (float_range 0.1 50.0) (float_range 0.1 50.0)))
+    (fun (alpha, beta, gamma, (r1, r2)) ->
+      let m = C.make ~alpha ~beta ~gamma () in
+      let lo = Float.min r1 r2 and hi = Float.max r1 r2 in
+      C.reservation_cost m ~reserved:lo ~actual:25.0
+      <= C.reservation_cost m ~reserved:hi ~actual:25.0 +. 1e-9)
+
+let () =
+  Alcotest.run "cost_model"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "neuro_hpc" `Quick test_neuro_hpc;
+          Alcotest.test_case "reservation cost" `Quick test_reservation_cost;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_cost_monotone_in_reservation ] );
+    ]

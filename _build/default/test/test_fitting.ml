@@ -1,0 +1,66 @@
+(* Tests for distribution fitting. *)
+
+module F = Distributions.Fitting
+
+let test_mle_recovery () =
+  let rng = Randomness.Rng.create ~seed:101 () in
+  let truth = Distributions.Lognormal.make ~mu:7.1128 ~sigma:0.2039 in
+  let samples = Distributions.Dist.samples truth rng 20_000 in
+  let fit = F.lognormal_mle samples in
+  Alcotest.(check (float 0.01)) "mu recovered" 7.1128 fit.F.mu;
+  Alcotest.(check (float 0.01)) "sigma recovered" 0.2039 fit.F.sigma;
+  Alcotest.(check bool) "ks small" true (fit.F.ks < 0.02);
+  Alcotest.(check int) "n recorded" 20_000 fit.F.n
+
+let test_mle_validation () =
+  Alcotest.(check bool) "nonpositive sample rejected" true
+    (try ignore (F.lognormal_mle [| 1.0; 0.0 |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too small rejected" true
+    (try ignore (F.lognormal_mle [| 1.0 |]); false
+     with Invalid_argument _ -> true)
+
+let test_of_moments_roundtrip () =
+  let mu, sigma = F.lognormal_of_moments ~mean:12.0 ~std:4.0 in
+  let d = Distributions.Lognormal.make ~mu ~sigma in
+  Alcotest.(check (float 1e-9)) "mean roundtrip" 12.0 d.Distributions.Dist.mean;
+  Alcotest.(check (float 1e-9)) "std roundtrip" 4.0 (Distributions.Dist.std d)
+
+let test_footnote4_values () =
+  (* Footnote 4 with the paper's VBMQA numbers: mean = 1253.37 s,
+     std = 258.261 s should give approximately (mu = 7.1128,
+     sigma = 0.2039). *)
+  let mu, sigma = F.lognormal_of_moments ~mean:1253.37 ~std:258.261 in
+  Alcotest.(check (float 0.01)) "mu ~ 7.1128" 7.1128 mu;
+  Alcotest.(check (float 0.005)) "sigma ~ 0.2039" 0.2039 sigma
+
+let test_to_dist () =
+  let rng = Randomness.Rng.create ~seed:55 () in
+  let truth = Distributions.Lognormal.make ~mu:2.0 ~sigma:0.4 in
+  let fit = F.lognormal_mle (Distributions.Dist.samples truth rng 10_000) in
+  let d = F.to_dist fit in
+  Alcotest.(check (float 0.2)) "fitted distribution mean"
+    truth.Distributions.Dist.mean d.Distributions.Dist.mean
+
+let prop_moments_inverse =
+  QCheck.Test.make ~count:300 ~name:"of_moments inverts the moment map"
+    QCheck.(pair (float_range 0.1 1000.0) (float_range 0.01 100.0))
+    (fun (mean, std) ->
+      let mu, sigma = F.lognormal_of_moments ~mean ~std in
+      let d = Distributions.Lognormal.make ~mu ~sigma in
+      Float.abs (d.Distributions.Dist.mean -. mean) <= 1e-6 *. mean
+      && Float.abs (Distributions.Dist.std d -. std) <= 1e-6 *. std)
+
+let () =
+  Alcotest.run "fitting"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mle recovery" `Quick test_mle_recovery;
+          Alcotest.test_case "mle validation" `Quick test_mle_validation;
+          Alcotest.test_case "of_moments roundtrip" `Quick test_of_moments_roundtrip;
+          Alcotest.test_case "footnote 4 values" `Quick test_footnote4_values;
+          Alcotest.test_case "to_dist" `Quick test_to_dist;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_moments_inverse ]);
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the Sect. 4.3 heuristics, checked against the Appendix B
+   closed-form recursions. *)
+
+module H = Stochastic_core.Heuristics
+module S = Stochastic_core.Sequence
+module Dist = Distributions.Dist
+
+let rel_close ?(tol = 1e-9) name expected got =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (got -. expected) /. scale > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let take_floats n s = Array.of_list (S.take n s)
+
+(* --------------------------- mean-stdev --------------------------- *)
+
+let test_mean_stdev_arithmetic () =
+  let d = Distributions.Exponential.default in
+  (* mu = sigma = 1: t_i = i. *)
+  let ts = take_floats 5 (H.mean_stdev d) in
+  Alcotest.(check (array (float 1e-9))) "t_i = mu + (i-1) sigma"
+    [| 1.0; 2.0; 3.0; 4.0; 5.0 |] ts
+
+let test_mean_stdev_bounded_caps_at_b () =
+  let d = Distributions.Uniform_dist.default in
+  let ts = S.take 10 (H.mean_stdev d) in
+  let last = List.nth ts (List.length ts - 1) in
+  rel_close "ends exactly at b" 20.0 last;
+  Alcotest.(check bool) "short sequence" true (List.length ts <= 3)
+
+(* -------------------------- mean-doubling ------------------------- *)
+
+let test_mean_doubling () =
+  let d = Distributions.Lognormal.default in
+  let mu = d.Dist.mean in
+  let ts = take_floats 4 (H.mean_doubling d) in
+  Alcotest.(check (array (float 1e-6))) "t_i = 2^(i-1) mu"
+    [| mu; 2.0 *. mu; 4.0 *. mu; 8.0 *. mu |] ts
+
+(* ------------------------ median-by-median ------------------------ *)
+
+let test_median_by_median () =
+  let d = Distributions.Exponential.default in
+  (* Q(1 - 2^-i) = i ln 2 for Exp(1). *)
+  let ts = take_floats 4 (H.median_by_median d) in
+  let ln2 = log 2.0 in
+  Alcotest.(check (array (float 1e-9))) "t_i = i ln 2"
+    [| ln2; 2.0 *. ln2; 3.0 *. ln2; 4.0 *. ln2 |] ts
+
+let test_median_by_median_survives_quantile_saturation () =
+  (* Beyond i ~ 53, 1 - 2^-i rounds to 1; the sequence must continue
+     (doubling fallback) rather than emit inf. *)
+  let d = Distributions.Exponential.default in
+  let ts = S.take 80 (H.median_by_median d) in
+  Alcotest.(check int) "80 finite elements" 80 (List.length ts);
+  List.iter
+    (fun t -> if not (Float.is_finite t) then Alcotest.fail "non-finite element")
+    ts
+
+(* -------------------------- mean-by-mean -------------------------- *)
+
+let test_mean_by_mean_exponential () =
+  (* Memorylessness: t_i = i * mu (Appendix B table, first row). *)
+  let d = Distributions.Exponential.make ~rate:2.0 in
+  let ts = take_floats 5 (H.mean_by_mean d) in
+  Alcotest.(check (array (float 1e-9))) "t_i = i / lambda"
+    [| 0.5; 1.0; 1.5; 2.0; 2.5 |] ts
+
+let test_mean_by_mean_uniform () =
+  (* Appendix B.6: t_1 = (a+b)/2, t_i = (b + t_(i-1))/2. *)
+  let d = Distributions.Uniform_dist.default in
+  let ts = S.take 4 (H.mean_by_mean d) in
+  (match ts with
+  | t1 :: t2 :: t3 :: _ ->
+      rel_close "t1 = mean" 15.0 t1;
+      rel_close "t2 = (b + t1)/2" 17.5 t2;
+      rel_close "t3" 18.75 t3
+  | _ -> Alcotest.fail "sequence too short");
+  (* Must terminate with exactly b despite the asymptotic approach. *)
+  let all = S.take 200 (H.mean_by_mean d) in
+  rel_close "ends at b" 20.0 (List.nth all (List.length all - 1));
+  Alcotest.(check bool) "terminates" true (List.length all < 200)
+
+let test_mean_by_mean_pareto () =
+  (* Appendix B.5: geometric with ratio alpha/(alpha - 1). *)
+  let d = Distributions.Pareto.default in
+  let ts = take_floats 4 (H.mean_by_mean d) in
+  let r = 1.5 in
+  rel_close "t1" 2.25 ts.(0);
+  rel_close "t2" (2.25 *. r) ts.(1);
+  rel_close "t3" (2.25 *. r *. r) ts.(2);
+  rel_close "t4" (2.25 *. r ** 3.0) ts.(3)
+
+let test_mean_by_mean_matches_conditional_expectation () =
+  (* Generic consistency on every distribution: t_(i+1) =
+     E[X | X > t_i] with E computed independently by quadrature. *)
+  List.iter
+    (fun (name, d) ->
+      let ts = S.take 4 (H.mean_by_mean d) in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            let expected = Dist.numeric_conditional_mean d a in
+            (* Skip the final b-capped element of bounded supports. *)
+            if b < Dist.upper d *. (1.0 -. 1e-9) || not (Dist.is_bounded d)
+            then
+              rel_close
+                (Printf.sprintf "%s: conditional-mean step at %g" name a)
+                expected b ~tol:1e-4;
+            check rest
+        | _ -> ()
+      in
+      rel_close (name ^ ": starts at the mean") d.Dist.mean (List.hd ts)
+        ~tol:1e-9;
+      check ts)
+    Distributions.Table1.all
+
+(* --------------------------- generic ------------------------------ *)
+
+let all_heuristics =
+  [
+    ("mean_by_mean", H.mean_by_mean);
+    ("mean_stdev", H.mean_stdev);
+    ("mean_doubling", H.mean_doubling);
+    ("median_by_median", H.median_by_median);
+  ]
+
+let test_all_heuristics_all_distributions_increasing () =
+  List.iter
+    (fun (hname, h) ->
+      List.iter
+        (fun (dname, d) ->
+          let ts = S.take 200 (h d) in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          if not (increasing ts) then
+            Alcotest.failf "%s on %s: not strictly increasing" hname dname;
+          if Dist.is_bounded d then begin
+            if List.length ts >= 200 then
+              Alcotest.failf "%s on %s: bounded sequence must terminate" hname
+                dname;
+            let last = List.nth ts (List.length ts - 1) in
+            if last <> Dist.upper d then
+              Alcotest.failf "%s on %s: bounded sequence must end at b" hname
+                dname
+          end)
+        Distributions.Table1.all)
+    all_heuristics
+
+let test_all_heuristics_cover_every_sample () =
+  (* Every heuristic sequence must cover any sampled execution time
+     (no Not_covered). *)
+  let m = Stochastic_core.Cost_model.reservation_only in
+  List.iter
+    (fun (hname, h) ->
+      List.iter
+        (fun (dname, d) ->
+          let rng = Randomness.Rng.create ~seed:71 () in
+          let seq = h d in
+          for _ = 1 to 500 do
+            let t = d.Dist.sample rng in
+            try ignore (S.cost_of_run m seq t)
+            with S.Not_covered t ->
+              Alcotest.failf "%s on %s: sample %g not covered" hname dname t
+          done)
+        Distributions.Table1.all)
+    all_heuristics
+
+let () =
+  Alcotest.run "heuristics"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "mean-stdev arithmetic" `Quick
+            test_mean_stdev_arithmetic;
+          Alcotest.test_case "mean-stdev bounded" `Quick
+            test_mean_stdev_bounded_caps_at_b;
+          Alcotest.test_case "mean-doubling" `Quick test_mean_doubling;
+          Alcotest.test_case "median-by-median" `Quick test_median_by_median;
+          Alcotest.test_case "median quantile saturation" `Quick
+            test_median_by_median_survives_quantile_saturation;
+          Alcotest.test_case "mean-by-mean exponential" `Quick
+            test_mean_by_mean_exponential;
+          Alcotest.test_case "mean-by-mean uniform" `Quick
+            test_mean_by_mean_uniform;
+          Alcotest.test_case "mean-by-mean pareto" `Quick
+            test_mean_by_mean_pareto;
+          Alcotest.test_case "mean-by-mean vs quadrature (all)" `Quick
+            test_mean_by_mean_matches_conditional_expectation;
+        ] );
+      ( "generic",
+        [
+          Alcotest.test_case "all increasing / b-terminated" `Quick
+            test_all_heuristics_all_distributions_increasing;
+          Alcotest.test_case "all cover samples" `Quick
+            test_all_heuristics_cover_every_sample;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the quadrature routines. *)
+
+module I = Numerics.Integrate
+
+let pi = 4.0 *. atan 1.0
+
+let rel_close ?(tol = 1e-9) name expected got =
+  let err = Float.abs (got -. expected) /. Float.max 1.0 (Float.abs expected) in
+  if err > tol then
+    Alcotest.failf "%s: expected %.15g, got %.15g" name expected got
+
+let test_simpson_polynomials () =
+  (* Simpson with Richardson is exact on low-degree polynomials. *)
+  rel_close "int x^2 [0,1]" (1.0 /. 3.0) (I.simpson (fun x -> x *. x) 0.0 1.0);
+  rel_close "int x^5 [0,2]" (64.0 /. 6.0) (I.simpson (fun x -> x ** 5.0) 0.0 2.0);
+  rel_close "int const" 14.0 (I.simpson (fun _ -> 7.0) 1.0 3.0)
+
+let test_simpson_transcendental () =
+  rel_close "int sin [0,pi]" 2.0 (I.simpson sin 0.0 pi);
+  rel_close "int e^x [0,1]" (exp 1.0 -. 1.0) (I.simpson exp 0.0 1.0);
+  rel_close "int 1/x [1,e]" 1.0 (I.simpson (fun x -> 1.0 /. x) 1.0 (exp 1.0))
+
+let test_simpson_orientation () =
+  rel_close "reversed bounds negate" (-2.0) (I.simpson sin pi 0.0);
+  rel_close "empty interval" 0.0 (I.simpson sin 1.0 1.0)
+
+let test_qk15 () =
+  let integral, err = I.qk15 (fun x -> x *. x) 0.0 1.0 in
+  rel_close "K15 x^2" (1.0 /. 3.0) integral ~tol:1e-13;
+  Alcotest.(check bool) "error estimate small" true (err < 1e-10)
+
+let test_gauss_kronrod () =
+  rel_close "GK sin [0,pi]" 2.0 (I.gauss_kronrod sin 0.0 pi);
+  rel_close "GK 1/sqrt(x) [0,1] (endpoint singularity)" 2.0
+    (I.gauss_kronrod (fun x -> 1.0 /. sqrt x) 0.0 1.0)
+    ~tol:1e-6;
+  rel_close "GK orientation" (-2.0) (I.gauss_kronrod sin pi 0.0)
+
+let test_gauss_kronrod_spike () =
+  (* A narrow Gaussian spike that a single K15 panel would miss; the
+     initial-subdivision option must recover it. *)
+  let spike x = exp (-.((x -. 0.9) ** 2.0) /. (2.0 *. 1e-4)) in
+  let expected = sqrt (2.0 *. pi *. 1e-4) in
+  rel_close "narrow spike with initial subdivision" expected
+    (I.gauss_kronrod ~initial:32 spike 0.0 1.8)
+    ~tol:1e-6
+
+let test_to_infinity () =
+  rel_close "int e^-x [0,inf)" 1.0 (I.to_infinity (fun x -> exp (-.x)) 0.0);
+  rel_close "int x e^-x [0,inf)" 1.0
+    (I.to_infinity (fun x -> x *. exp (-.x)) 0.0);
+  rel_close "int e^-x [2,inf)" (exp (-2.0))
+    (I.to_infinity (fun x -> exp (-.x)) 2.0);
+  (* Gaussian over the half line. *)
+  rel_close "int exp(-x^2/2) [0,inf)"
+    (sqrt (pi /. 2.0))
+    (I.to_infinity (fun x -> exp (-.(x *. x) /. 2.0)) 0.0);
+  (* Shifted peaked integrand (the regression that motivated the
+     initial subdivision): truncated-normal mean. *)
+  let mu = 8.0 and sigma = sqrt 2.0 in
+  let pdf t =
+    exp (-0.5 *. (((t -. mu) /. sigma) ** 2.0)) /. (sigma *. sqrt (2.0 *. pi))
+  in
+  rel_close "peaked integrand mean" mu
+    (I.to_infinity (fun t -> t *. pdf t) 0.0)
+    ~tol:1e-7
+
+let test_trapezoid () =
+  rel_close "trapezoid x [0,1], n=1 exact" 0.5 (I.trapezoid (fun x -> x) 0.0 1.0 1);
+  rel_close "trapezoid sin, n=10000" 2.0 (I.trapezoid sin 0.0 pi 10_000) ~tol:1e-7;
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Integrate.trapezoid: n must be positive") (fun () ->
+      ignore (I.trapezoid sin 0.0 1.0 0))
+
+let prop_linearity =
+  QCheck.Test.make ~count:100 ~name:"integral is linear in the integrand"
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b) ->
+      let f x = (a *. sin x) +. (b *. x) in
+      let direct = I.gauss_kronrod f 0.0 2.0 in
+      let split =
+        (a *. I.gauss_kronrod sin 0.0 2.0)
+        +. (b *. I.gauss_kronrod (fun x -> x) 0.0 2.0)
+      in
+      Float.abs (direct -. split) <= 1e-9 *. (1.0 +. Float.abs direct))
+
+let prop_additivity =
+  QCheck.Test.make ~count:100 ~name:"integral is additive over intervals"
+    QCheck.(triple (float_range 0.0 3.0) (float_range 0.0 3.0) (float_range 0.0 3.0))
+    (fun (a, b, c) ->
+      let lo = Float.min a (Float.min b c)
+      and hi = Float.max a (Float.max b c) in
+      let mid = a +. b +. c -. lo -. hi in
+      let f x = exp (-.x) *. cos x in
+      let whole = I.simpson f lo hi in
+      let parts = I.simpson f lo mid +. I.simpson f mid hi in
+      Float.abs (whole -. parts) <= 1e-8 *. (1.0 +. Float.abs whole))
+
+let () =
+  Alcotest.run "integrate"
+    [
+      ( "simpson",
+        [
+          Alcotest.test_case "polynomials" `Quick test_simpson_polynomials;
+          Alcotest.test_case "transcendental" `Quick test_simpson_transcendental;
+          Alcotest.test_case "orientation" `Quick test_simpson_orientation;
+        ] );
+      ( "gauss-kronrod",
+        [
+          Alcotest.test_case "qk15" `Quick test_qk15;
+          Alcotest.test_case "adaptive" `Quick test_gauss_kronrod;
+          Alcotest.test_case "spike" `Quick test_gauss_kronrod_spike;
+        ] );
+      ( "infinite",
+        [ Alcotest.test_case "to_infinity" `Quick test_to_infinity ] );
+      ( "trapezoid",
+        [ Alcotest.test_case "trapezoid" `Quick test_trapezoid ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_linearity;
+          QCheck_alcotest.to_alcotest prop_additivity;
+        ] );
+    ]

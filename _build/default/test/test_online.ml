@@ -1,0 +1,73 @@
+(* Tests for the online-learning scheduling loop. *)
+
+module O = Platform.Online
+module C = Stochastic_core.Cost_model
+
+let cfg_small =
+  {
+    O.warmup = 5;
+    refit_every = 10;
+    strategy = Stochastic_core.Strategy.brute_force ~m:200 ~n:300 ~seed:5 ();
+  }
+
+let test_shapes () =
+  let truth = Distributions.Lognormal.of_moments ~mean:5.0 ~std:1.5 in
+  let rng = Randomness.Rng.create ~seed:3 () in
+  let t = O.run ~config:cfg_small ~jobs:100 C.reservation_only truth rng in
+  Alcotest.(check int) "one cost per job" 100 (Array.length t.O.costs);
+  Alcotest.(check int) "prefix means aligned" 100
+    (Array.length t.O.normalized_prefix_mean);
+  Alcotest.(check bool) "at least one refit" true (t.O.refits >= 1);
+  Array.iter
+    (fun c -> if c <= 0.0 then Alcotest.failf "non-positive cost %g" c)
+    t.O.costs
+
+let test_learning_improves () =
+  (* After learning, the steady-state normalized cost should be close
+     to the known-distribution optimum and clearly better than the
+     early phase. *)
+  let truth = Distributions.Lognormal.of_moments ~mean:5.0 ~std:1.5 in
+  let rng = Randomness.Rng.create ~seed:7 () in
+  let t = O.run ~config:cfg_small ~jobs:800 C.reservation_only truth rng in
+  let steady = O.final_normalized t in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state %.3f within range" steady)
+    true
+    (steady > 0.8 && steady < 2.5);
+  (* The running mean should not be increasing at the end (learning
+     converged). *)
+  let n = Array.length t.O.normalized_prefix_mean in
+  let early = t.O.normalized_prefix_mean.(min 20 (n - 1)) in
+  let late = t.O.normalized_prefix_mean.(n - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "late mean %.3f <= early mean %.3f + slack" late early)
+    true
+    (late <= early +. 0.35)
+
+let test_validation () =
+  let truth = Distributions.Exponential.default in
+  let rng = Randomness.Rng.create () in
+  Alcotest.(check bool) "jobs = 0 rejected" true
+    (try ignore (O.run ~jobs:0 C.reservation_only truth rng); false
+     with Invalid_argument _ -> true)
+
+let test_deterministic () =
+  let truth = Distributions.Gamma_dist.default in
+  let run () =
+    let rng = Randomness.Rng.create ~seed:11 () in
+    (O.run ~config:cfg_small ~jobs:60 C.reservation_only truth rng).O.costs
+  in
+  Alcotest.(check (array (float 0.0))) "same seed, same trajectory" (run ())
+    (run ())
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "learning improves" `Slow test_learning_improves;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the xoshiro256++ generator. *)
+
+module Rng = Randomness.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 () in
+  let b = Rng.create ~seed:123 () in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d matches" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 () in
+  let b = Rng.create ~seed:2 () in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_copy () =
+  let a = Rng.create ~seed:9 () in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+    (Rng.bits64 b)
+
+let test_split_independence () =
+  let a = Rng.create ~seed:9 () in
+  let b = Rng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split diverges from parent" true (xa <> xb)
+
+let test_float_range () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_float_open_positive () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    if Rng.float_open rng <= 0.0 then Alcotest.fail "float_open returned <= 0"
+  done
+
+let test_uniform () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng 3.0 7.0 in
+    if x < 3.0 || x >= 7.0 then Alcotest.failf "uniform out of range: %g" x
+  done;
+  Alcotest.check_raises "a > b rejected" (Invalid_argument "Rng.uniform: a > b")
+    (fun () -> ignore (Rng.uniform rng 7.0 3.0))
+
+let test_int_range_and_coverage () =
+  let rng = Rng.create () in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.int rng 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Rough uniformity: every bucket within 40% of the expectation. *)
+  Array.iteri
+    (fun i c ->
+      if c < 600 || c > 1400 then
+        Alcotest.failf "bucket %d has suspicious count %d" i c)
+    counts;
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Rng.int: n must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_mean_of_uniform () =
+  let rng = Rng.create ~seed:5 () in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  Alcotest.(check (float 0.005)) "mean ~ 0.5" 0.5 (!acc /. float_of_int n)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:3 () in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let prop_int_bounds =
+  QCheck.Test.make ~count:500 ~name:"int n stays in [0, n)"
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed () in
+      let k = Rng.int rng n in
+      k >= 0 && k < n)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float_open positive" `Quick test_float_open_positive;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "int coverage" `Quick test_int_range_and_coverage;
+          Alcotest.test_case "uniform mean" `Quick test_mean_of_uniform;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_int_bounds ]);
+    ]

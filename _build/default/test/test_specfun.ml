@@ -1,0 +1,205 @@
+(* Oracle and property tests for the hand-rolled special functions.
+   Reference values from standard tables (Abramowitz & Stegun; checked
+   against independent high-precision evaluations). *)
+
+module Sf = Numerics.Specfun
+
+let close ?(tol = 1e-12) name expected got =
+  Alcotest.(check (float tol)) name expected got
+
+let rel_close ?(tol = 1e-12) name expected got =
+  let err = Float.abs (got -. expected) /. Float.max 1.0 (Float.abs expected) in
+  if err > tol then
+    Alcotest.failf "%s: expected %.17g, got %.17g (rel err %.3g)" name expected
+      got err
+
+(* ------------------------- gamma family -------------------------- *)
+
+let test_log_gamma_oracle () =
+  rel_close "lgamma(1)" 0.0 (Sf.log_gamma 1.0) ~tol:1e-14;
+  rel_close "lgamma(2)" 0.0 (Sf.log_gamma 2.0) ~tol:1e-13;
+  rel_close "lgamma(0.5)" (0.5 *. log (4.0 *. atan 1.0)) (Sf.log_gamma 0.5);
+  rel_close "lgamma(10)" (log 362880.0) (Sf.log_gamma 10.0);
+  rel_close "lgamma(100)" 359.1342053695753987 (Sf.log_gamma 100.0);
+  rel_close "lgamma(0.1)" 2.252712651734206 (Sf.log_gamma 0.1) ~tol:1e-13
+
+let test_gamma_oracle () =
+  rel_close "gamma(5) = 24" 24.0 (Sf.gamma 5.0);
+  rel_close "gamma(1.5) = sqrt(pi)/2"
+    (0.5 *. sqrt (4.0 *. atan 1.0))
+    (Sf.gamma 1.5);
+  rel_close "gamma(3) = 2" 2.0 (Sf.gamma 3.0)
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "lgamma(0)"
+    (Invalid_argument "Specfun.log_gamma: non-positive integer argument")
+    (fun () -> ignore (Sf.log_gamma 0.0));
+  Alcotest.check_raises "lgamma(-3)"
+    (Invalid_argument "Specfun.log_gamma: non-positive integer argument")
+    (fun () -> ignore (Sf.log_gamma (-3.0)))
+
+let test_gamma_p_oracle () =
+  (* P(a, x) reference values. *)
+  rel_close "P(1, 1) = 1 - 1/e" (1.0 -. exp (-1.0)) (Sf.gamma_p 1.0 1.0);
+  rel_close "P(2, 2)" 0.5939941502901616 (Sf.gamma_p 2.0 2.0);
+  rel_close "P(0.5, 0.5)" 0.6826894921370859 (Sf.gamma_p 0.5 0.5);
+  rel_close "P(5, 10)" 0.9707473119230389 (Sf.gamma_p 5.0 10.0);
+  rel_close "P(10, 5)" 0.0318280573062100 (Sf.gamma_p 10.0 5.0) ~tol:1e-11;
+  close "P(a, 0) = 0" 0.0 (Sf.gamma_p 3.0 0.0)
+
+let test_gamma_q_tail () =
+  (* Q stays accurate deep in the tail where 1 - P would cancel. *)
+  rel_close "Q(1, 30) = e^-30" (exp (-30.0)) (Sf.gamma_q 1.0 30.0) ~tol:1e-11;
+  rel_close "Q(2, 50)" (51.0 *. exp (-50.0)) (Sf.gamma_q 2.0 50.0) ~tol:1e-11;
+  close "P + Q = 1 (x=3, a=2.5)" 1.0 (Sf.gamma_p 2.5 3.0 +. Sf.gamma_q 2.5 3.0)
+
+let test_upper_incomplete_gamma () =
+  (* Gamma(1, x) = e^-x; Gamma(2, x) = (x+1) e^-x. *)
+  rel_close "Gamma(1, 2)" (exp (-2.0)) (Sf.upper_incomplete_gamma 1.0 2.0);
+  rel_close "Gamma(2, 3)" (4.0 *. exp (-3.0)) (Sf.upper_incomplete_gamma 2.0 3.0);
+  rel_close "Gamma(3, 0) = Gamma(3) = 2" 2.0 (Sf.upper_incomplete_gamma 3.0 0.0)
+
+let test_inverse_gamma_p () =
+  close "inv P(a, 0) = 0" 0.0 (Sf.inverse_gamma_p 2.0 0.0);
+  Alcotest.(check bool) "inv P(a, 1) = inf" true
+    (Sf.inverse_gamma_p 2.0 1.0 = infinity);
+  rel_close "roundtrip a=2, x=2" 2.0
+    (Sf.inverse_gamma_p 2.0 (Sf.gamma_p 2.0 2.0))
+    ~tol:1e-9
+
+let prop_gamma_p_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"inverse_gamma_p (gamma_p a x) = x"
+    QCheck.(pair (float_range 0.1 20.0) (float_range 0.01 40.0))
+    (fun (a, x) ->
+      let p = Sf.gamma_p a x in
+      (* Skip ill-conditioned tails: beyond survival 1e-9, the
+         roundtrip error is dominated by the representation of p
+         itself (dx = dp / pdf blows up), not by the solver. *)
+      if p < 1e-9 || Sf.gamma_q a x < 1e-9 then true
+      else begin
+        let x' = Sf.inverse_gamma_p a p in
+        Float.abs (x' -. x) <= 1e-6 *. (1.0 +. x)
+      end)
+
+let prop_gamma_p_monotone =
+  QCheck.Test.make ~count:300 ~name:"gamma_p monotone in x"
+    QCheck.(triple (float_range 0.1 10.0) (float_range 0.0 20.0) (float_range 0.0 20.0))
+    (fun (a, x1, x2) ->
+      let lo = Float.min x1 x2 and hi = Float.max x1 x2 in
+      Sf.gamma_p a lo <= Sf.gamma_p a hi +. 1e-15)
+
+(* ---------------------------- erf -------------------------------- *)
+
+let test_erf_oracle () =
+  rel_close "erf(0)" 0.0 (Sf.erf 0.0);
+  rel_close "erf(1)" 0.8427007929497149 (Sf.erf 1.0) ~tol:1e-13;
+  rel_close "erf(-1)" (-0.8427007929497149) (Sf.erf (-1.0)) ~tol:1e-13;
+  rel_close "erf(2)" 0.9953222650189527 (Sf.erf 2.0) ~tol:1e-13;
+  rel_close "erfc(2)" 0.004677734981063305 (Sf.erfc 2.0) ~tol:1e-12;
+  rel_close "erfc(5)" 1.537459794428035e-12 (Sf.erfc 5.0) ~tol:1e-10;
+  rel_close "erfc(-1) = 1 + erf(1)" 1.8427007929497149 (Sf.erfc (-1.0)) ~tol:1e-13
+
+let test_normal_quantile_oracle () =
+  rel_close "ndtri(0.5)" 0.0 (Sf.normal_quantile 0.5) ~tol:1e-14;
+  rel_close "ndtri(0.975)" 1.959963984540054 (Sf.normal_quantile 0.975) ~tol:1e-12;
+  rel_close "ndtri(0.9999)" 3.719016485455709 (Sf.normal_quantile 0.9999) ~tol:1e-11;
+  rel_close "ndtri(0.0001)" (-3.719016485455709) (Sf.normal_quantile 0.0001) ~tol:1e-11;
+  Alcotest.(check bool) "ndtri(0) = -inf" true
+    (Sf.normal_quantile 0.0 = neg_infinity);
+  Alcotest.(check bool) "ndtri(1) = inf" true
+    (Sf.normal_quantile 1.0 = infinity)
+
+let test_normal_cdf () =
+  rel_close "Phi(0)" 0.5 (Sf.normal_cdf 0.0);
+  rel_close "Phi(1.96)" 0.9750021048517795 (Sf.normal_cdf 1.96) ~tol:1e-12;
+  rel_close "Phi(-3)" 0.001349898031630095 (Sf.normal_cdf (-3.0)) ~tol:1e-11
+
+let prop_erf_inv_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"erf_inv (erf x) = x"
+    QCheck.(float_range (-4.0) 4.0)
+    (fun x ->
+      let z = Sf.erf x in
+      if Float.abs z >= 1.0 -. 1e-14 then true
+      else Float.abs (Sf.erf_inv z -. x) <= 1e-8 *. (1.0 +. Float.abs x))
+
+let prop_quantile_cdf_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"normal_cdf (normal_quantile p) = p"
+    QCheck.(float_range 1e-6 (1.0 -. 1e-6))
+    (fun p -> Float.abs (Sf.normal_cdf (Sf.normal_quantile p) -. p) <= 1e-12)
+
+(* ---------------------------- beta ------------------------------- *)
+
+let test_beta_fun_oracle () =
+  rel_close "B(1,1)" 1.0 (Sf.beta_fun 1.0 1.0);
+  rel_close "B(2,2) = 1/6" (1.0 /. 6.0) (Sf.beta_fun 2.0 2.0);
+  rel_close "B(2.5, 3.5)"
+    (Sf.gamma 2.5 *. Sf.gamma 3.5 /. Sf.gamma 6.0)
+    (Sf.beta_fun 2.5 3.5)
+
+let test_betai_oracle () =
+  rel_close "I_0.5(2,2)" 0.5 (Sf.betai 2.0 2.0 0.5);
+  rel_close "I_0.3(2,3)" 0.3483 (Sf.betai 2.0 3.0 0.3) ~tol:1e-12;
+  (* I_x(1, 1) = x. *)
+  rel_close "I_0.25(1,1)" 0.25 (Sf.betai 1.0 1.0 0.25);
+  (* I_x(1, b) = 1 - (1-x)^b. *)
+  rel_close "I_0.3(1, 4)" (1.0 -. (0.7 ** 4.0)) (Sf.betai 1.0 4.0 0.3);
+  close "I_0" 0.0 (Sf.betai 3.0 2.0 0.0);
+  close "I_1" 1.0 (Sf.betai 3.0 2.0 1.0)
+
+let test_incomplete_beta () =
+  (* B(x; 1, 1) = x. *)
+  rel_close "B(0.4; 1, 1)" 0.4 (Sf.incomplete_beta 1.0 1.0 0.4);
+  (* B(x; 2, 1) = x^2/2. *)
+  rel_close "B(0.5; 2, 1)" 0.125 (Sf.incomplete_beta 2.0 1.0 0.5)
+
+let prop_betai_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"inverse_betai (betai a b x) = x"
+    QCheck.(
+      triple (float_range 0.2 10.0) (float_range 0.2 10.0)
+        (float_range 0.001 0.999))
+    (fun (a, b, x) ->
+      let p = Sf.betai a b x in
+      if p < 1e-9 || p > 1.0 -. 1e-9 then true
+      else Float.abs (Sf.inverse_betai a b p -. x) <= 1e-6)
+
+let prop_betai_symmetry =
+  QCheck.Test.make ~count:300 ~name:"I_x(a,b) = 1 - I_(1-x)(b,a)"
+    QCheck.(
+      triple (float_range 0.2 8.0) (float_range 0.2 8.0)
+        (float_range 0.01 0.99))
+    (fun (a, b, x) ->
+      Float.abs (Sf.betai a b x -. (1.0 -. Sf.betai b a (1.0 -. x))) <= 1e-11)
+
+let () =
+  Alcotest.run "specfun"
+    [
+      ( "gamma",
+        [
+          Alcotest.test_case "log_gamma oracle" `Quick test_log_gamma_oracle;
+          Alcotest.test_case "gamma oracle" `Quick test_gamma_oracle;
+          Alcotest.test_case "log_gamma invalid" `Quick test_log_gamma_invalid;
+          Alcotest.test_case "gamma_p oracle" `Quick test_gamma_p_oracle;
+          Alcotest.test_case "gamma_q tail" `Quick test_gamma_q_tail;
+          Alcotest.test_case "upper incomplete" `Quick test_upper_incomplete_gamma;
+          Alcotest.test_case "inverse gamma_p" `Quick test_inverse_gamma_p;
+          QCheck_alcotest.to_alcotest prop_gamma_p_roundtrip;
+          QCheck_alcotest.to_alcotest prop_gamma_p_monotone;
+        ] );
+      ( "erf",
+        [
+          Alcotest.test_case "erf oracle" `Quick test_erf_oracle;
+          Alcotest.test_case "normal quantile oracle" `Quick
+            test_normal_quantile_oracle;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          QCheck_alcotest.to_alcotest prop_erf_inv_roundtrip;
+          QCheck_alcotest.to_alcotest prop_quantile_cdf_roundtrip;
+        ] );
+      ( "beta",
+        [
+          Alcotest.test_case "beta_fun oracle" `Quick test_beta_fun_oracle;
+          Alcotest.test_case "betai oracle" `Quick test_betai_oracle;
+          Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+          QCheck_alcotest.to_alcotest prop_betai_roundtrip;
+          QCheck_alcotest.to_alcotest prop_betai_symmetry;
+        ] );
+    ]
