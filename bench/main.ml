@@ -103,6 +103,14 @@ let run_robustness cfg =
   print_string (Experiments.Robustness.to_string t);
   report_sanity (Experiments.Robustness.sanity t)
 
+let run_cluster cfg ~quick =
+  section
+    "Cluster scheduler: strategies under contention, wait-time loop closed";
+  let jobs = if quick then 500 else 1500 in
+  let t = Experiments.Cluster_contention.run ~cfg ~jobs () in
+  print_string (Experiments.Cluster_contention.to_string t);
+  report_sanity (Experiments.Cluster_contention.sanity t)
+
 let run_trace_vs_fit cfg =
   section "Ablation: interpolating traces vs fitting a LogNormal (NeuroHPC)";
   let t = Experiments.Trace_vs_fit.run ~cfg () in
@@ -225,4 +233,5 @@ let () =
   if want "ablation-eps" then run_ablation_eps cfg;
   if want "robustness" then run_robustness cfg;
   if want "trace-vs-fit" then run_trace_vs_fit cfg;
+  if want "cluster" then run_cluster cfg ~quick;
   if want "perf" then run_perf ()

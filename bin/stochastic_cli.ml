@@ -248,6 +248,111 @@ let cloud_cmd =
       const run $ dist_arg $ trace_arg $ fit_arg $ ratio_arg $ m_arg $ n_mc_arg
       $ seed_arg)
 
+let cluster_cmd =
+  let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed jobs
+      nodes policy load nodes_min nodes_max scale_min scale_max =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
+    let policy =
+      match Scheduler.Policy.of_string policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown policy %S (use fcfs or easy)\n" policy;
+          exit 2
+    in
+    let seq = s.Strategy.build model d in
+    let arrival_rate =
+      Scheduler.Workload.rate_for_load ~nodes_min ~nodes_max ~scale_min
+        ~scale_max ~sequence:seq ~load ~cluster_nodes:nodes d
+    in
+    let spec =
+      Scheduler.Workload.make_spec ~nodes_min ~nodes_max ~scale_min ~scale_max
+        ~jobs ~arrival_rate ()
+    in
+    let rng = Randomness.Rng.create ~seed:(seed + 4) () in
+    let workload = Scheduler.Workload.generate spec d ~sequence:seq rng in
+    let result =
+      Scheduler.Engine.run { Scheduler.Engine.nodes; policy } workload
+    in
+    let summary = Scheduler.Metrics.summarize ~model result in
+    Format.printf "distribution: %a@." Dist.pp d;
+    Format.printf "cost model:   %a@." Cost_model.pp model;
+    Format.printf "strategy:     %s, policy: %s@." s.Strategy.name
+      (Scheduler.Policy.name policy);
+    Format.printf "workload:     %d jobs, offered load %.2f (rate %.3f/h, \
+                   %d-%d nodes/job)@."
+      jobs
+      (Scheduler.Workload.offered_load ~sequence:seq spec ~cluster_nodes:nodes
+         d)
+      arrival_rate nodes_min nodes_max;
+    Format.printf "@[%a@]@." Scheduler.Metrics.pp_summary summary;
+    let fit = Scheduler.Metrics.measured_fit (Scheduler.Metrics.wait_records result) in
+    Format.printf
+      "measured wait model: wait = %.4f * requested + %.4f h  (R^2 = %.3f)@."
+      fit.Numerics.Regression.slope fit.Numerics.Regression.intercept
+      fit.Numerics.Regression.r_squared;
+    match Platform.Hpc_queue.cost_model_of_fit fit with
+    | measured ->
+        Format.printf "measured cost model: %a@." Cost_model.pp measured;
+        let eval_rng = Randomness.Rng.create ~seed:(seed + 5) () in
+        let samples = Dist.samples d eval_rng n in
+        Array.sort compare samples;
+        let score m = Strategy.evaluate_on m d ~sorted_samples:samples s in
+        Format.printf
+          "normalized E(cost) of %s: %.4f assumed model, %.4f measured model@."
+          s.Strategy.name (score model) (score measured)
+    | exception Invalid_argument _ ->
+        Format.printf
+          "measured cost model: unusable fit (no affine contention signal)@."
+  in
+  let jobs_arg =
+    Arg.(value & opt int 500
+         & info [ "jobs" ] ~docv:"J" ~doc:"Number of jobs to simulate.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 64
+         & info [ "nodes" ] ~docv:"P" ~doc:"Cluster node count.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "easy"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Queueing policy: fcfs or easy (EASY backfilling).")
+  in
+  let load_arg =
+    Arg.(value & opt float 1.15
+         & info [ "load" ] ~docv:"L"
+             ~doc:"Offered load: arrival work rate over cluster capacity.")
+  in
+  let nodes_min_arg =
+    Arg.(value & opt int 1
+         & info [ "min-nodes" ] ~docv:"N" ~doc:"Smallest per-job node count.")
+  in
+  let nodes_max_arg =
+    Arg.(value & opt int 8
+         & info [ "max-nodes" ] ~docv:"N" ~doc:"Largest per-job node count.")
+  in
+  let scale_min_arg =
+    Arg.(value & opt float 0.1
+         & info [ "min-scale" ] ~docv:"C"
+             ~doc:"Smallest job size-class factor (log-uniform).")
+  in
+  let scale_max_arg =
+    Arg.(value & opt float 10.0
+         & info [ "max-scale" ] ~docv:"C"
+             ~doc:"Largest job size-class factor (log-uniform).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Simulate many stochastic jobs contending for a cluster and measure \
+          the wait-time model that the NeuroHPC scenario assumes.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
+      $ seed_arg $ jobs_arg $ nodes_arg $ policy_arg $ load_arg
+      $ nodes_min_arg $ nodes_max_arg $ scale_min_arg $ scale_max_arg)
+
 (* Experiment commands share a tiny driver. *)
 
 let quick_arg =
@@ -329,6 +434,7 @@ let main =
       sequence_cmd;
       evaluate_cmd;
       simulate_cmd;
+      cluster_cmd;
       bounds_cmd;
       cloud_cmd;
       table2_cmd;

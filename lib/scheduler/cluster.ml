@@ -1,0 +1,41 @@
+type t = {
+  nodes : int;
+  mutable free : int;
+  mutable clock : float;
+  busy : Numerics.Kahan.t;
+}
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Cluster.create: nodes must be positive";
+  { nodes; free = nodes; clock = 0.0; busy = Numerics.Kahan.create () }
+
+let nodes t = t.nodes
+let free t = t.free
+let busy_nodes t = t.nodes - t.free
+
+let advance t now =
+  if now < t.clock -. 1e-9 then
+    invalid_arg "Cluster.advance: time moved backwards";
+  if now > t.clock then begin
+    Numerics.Kahan.add t.busy (float_of_int (t.nodes - t.free) *. (now -. t.clock));
+    t.clock <- now
+  end
+
+let allocate t n =
+  if n <= 0 then invalid_arg "Cluster.allocate: node count must be positive";
+  if n > t.free then invalid_arg "Cluster.allocate: not enough free nodes";
+  t.free <- t.free - n
+
+let release t n =
+  if n <= 0 then invalid_arg "Cluster.release: node count must be positive";
+  if t.free + n > t.nodes then
+    invalid_arg "Cluster.release: releasing more nodes than allocated";
+  t.free <- t.free + n
+
+let busy_node_time t = Numerics.Kahan.sum t.busy
+
+let utilization t =
+  if t.clock <= 0.0 then 0.0
+  else
+    let u = busy_node_time t /. (float_of_int t.nodes *. t.clock) in
+    Float.min 1.0 (Float.max 0.0 u)

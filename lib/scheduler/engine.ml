@@ -1,0 +1,104 @@
+type config = { nodes : int; policy : Policy.t }
+
+type result = {
+  jobs : Job.t array;
+  nodes : int;
+  policy : Policy.t;
+  makespan : float;
+  busy_node_time : float;
+  events : int;
+}
+
+type event = Arrival of Job.t | Finish of Job.t
+
+(* The pending queue keeps FCFS order; jobs may leave from the middle
+   (backfilling), so it is a plain list rebuilt on dispatch. Queue
+   lengths are bounded by the job count, so the rebuild cost is
+   negligible next to sequence construction. *)
+
+let run (config : config) jobs =
+  if config.nodes <= 0 then
+    invalid_arg "Engine.run: cluster must have at least one node";
+  Array.iter
+    (fun j ->
+      if Job.nodes j > config.nodes then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.run: job %d needs %d nodes but the cluster has %d"
+             (Job.id j) (Job.nodes j) config.nodes))
+    jobs;
+  let events = Event_queue.create () in
+  Array.iter
+    (fun j -> Event_queue.push events ~time:(Job.arrival j) (Arrival j))
+    jobs;
+  let cluster = Cluster.create ~nodes:config.nodes in
+  let pending = ref [] (* FCFS order *) in
+  let running = ref [] (* running jobs, unordered *) in
+  let makespan = ref 0.0 in
+  let processed = ref 0 in
+  let schedule now =
+    match !pending with
+    | [] -> ()
+    | queue ->
+        let arr = Array.of_list queue in
+        let spec = Array.map (fun j -> (Job.nodes j, Job.request j)) arr in
+        let running_res =
+          List.map (fun (ends, j) -> (ends, Job.nodes j)) !running
+        in
+        let starts =
+          Policy.select config.policy ~now ~free:(Cluster.free cluster)
+            ~running:running_res spec
+        in
+        if starts <> [] then begin
+          let chosen = Array.make (Array.length arr) false in
+          List.iter
+            (fun idx ->
+              let j = arr.(idx) in
+              chosen.(idx) <- true;
+              Cluster.allocate cluster (Job.nodes j);
+              Job.start j ~now;
+              let elapsed = Float.min (Job.request j) (Job.duration j) in
+              let reservation_end = now +. Job.request j in
+              running := (reservation_end, j) :: !running;
+              Event_queue.push events ~time:(now +. elapsed) (Finish j))
+            starts;
+          pending :=
+            List.filteri (fun i _ -> not chosen.(i)) (Array.to_list arr)
+        end
+  in
+  let rec loop () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (now, ev) ->
+        incr processed;
+        Cluster.advance cluster now;
+        (match ev with
+        | Arrival j -> pending := !pending @ [ j ]
+        | Finish j ->
+            Cluster.release cluster (Job.nodes j);
+            running := List.filter (fun (_, j') -> j' != j) !running;
+            let completed = Job.finish_attempt j ~now in
+            if completed then makespan := Float.max !makespan now
+            else Event_queue.push events ~time:now (Arrival j));
+        schedule now;
+        loop ()
+  in
+  loop ();
+  if !pending <> [] || !running <> [] then
+    failwith "Engine.run: simulation ended with jobs still in the system";
+  Cluster.advance cluster !makespan;
+  {
+    jobs;
+    nodes = config.nodes;
+    policy = config.policy;
+    makespan = !makespan;
+    busy_node_time = Cluster.busy_node_time cluster;
+    events = !processed;
+  }
+
+let utilization r =
+  if r.makespan <= 0.0 then 0.0
+  else
+    Float.min 1.0
+      (Float.max 0.0
+         (r.busy_node_time /. (float_of_int r.nodes *. r.makespan)))

@@ -1,0 +1,113 @@
+module Sequence = Stochastic_core.Sequence
+
+type attempt = {
+  requested : float;
+  submitted : float;
+  started : float;
+  wait : float;
+  elapsed : float;
+  succeeded : bool;
+}
+
+type state = Waiting | Running | Done
+
+type t = {
+  id : int;
+  nodes : int;
+  duration : float;
+  arrival : float;
+  reservations : float array;
+  mutable attempt : int;
+  mutable submitted : float;
+  mutable started : float;
+  mutable state : state;
+  mutable history : attempt list; (* newest first *)
+  mutable finish : float;
+}
+
+let make ~id ~nodes ~arrival ~duration sequence =
+  if nodes <= 0 then invalid_arg "Job.make: nodes must be positive";
+  if not (Float.is_finite duration) || duration <= 0.0 then
+    invalid_arg "Job.make: duration must be positive and finite";
+  if not (Float.is_finite arrival) || arrival < 0.0 then
+    invalid_arg "Job.make: arrival must be nonnegative and finite";
+  (* Materialise the prefix of the (lazy, possibly infinite) sequence
+     up to the first reservation covering the true duration: those are
+     the only requests this job can ever submit. *)
+  let reservations =
+    Sequence.prefix_until (fun r -> r >= duration) sequence
+  in
+  let k = Array.length reservations in
+  if k = 0 || reservations.(k - 1) < duration then
+    raise (Sequence.Not_covered duration);
+  {
+    id;
+    nodes;
+    duration;
+    arrival;
+    reservations;
+    attempt = 0;
+    submitted = arrival;
+    started = nan;
+    state = Waiting;
+    history = [];
+    finish = nan;
+  }
+
+let id j = j.id
+let nodes j = j.nodes
+let duration j = j.duration
+let arrival j = j.arrival
+let state j = j.state
+let submitted j = j.submitted
+let reservations j = Array.copy j.reservations
+let request j = j.reservations.(j.attempt)
+
+let start j ~now =
+  if j.state <> Waiting then invalid_arg "Job.start: job is not waiting";
+  if now < j.submitted -. 1e-9 then
+    invalid_arg "Job.start: cannot start before submission";
+  j.started <- now;
+  j.state <- Running
+
+let finish_attempt j ~now =
+  if j.state <> Running then
+    invalid_arg "Job.finish_attempt: job is not running";
+  let requested = request j in
+  let succeeded = requested >= j.duration in
+  let elapsed = Float.min requested j.duration in
+  j.history <-
+    {
+      requested;
+      submitted = j.submitted;
+      started = j.started;
+      wait = j.started -. j.submitted;
+      elapsed;
+      succeeded;
+    }
+    :: j.history;
+  if succeeded then begin
+    j.state <- Done;
+    j.finish <- now;
+    true
+  end
+  else begin
+    (* Timed out: the paper's execution model resubmits the job
+       immediately with its next reservation length. *)
+    j.attempt <- j.attempt + 1;
+    j.submitted <- now;
+    j.state <- Waiting;
+    false
+  end
+
+let attempts j = Array.of_list (List.rev j.history)
+
+let finish_time j =
+  if j.state <> Done then invalid_arg "Job.finish_time: job is not done";
+  j.finish
+
+let total_wait j =
+  List.fold_left (fun acc a -> acc +. a.wait) 0.0 j.history
+
+let response j = finish_time j -. j.arrival
+let stretch j = response j /. j.duration

@@ -1,0 +1,79 @@
+(** A stochastic job flowing through the cluster simulator.
+
+    Each job has a true execution time drawn from the workload
+    distribution — unknown to the scheduler — and carries the prefix of
+    a reservation sequence from {!Stochastic_core.Strategy} as its
+    successive walltime requests: attempt [i] requests [t_i], runs for
+    [min t_i duration], and on timeout is resubmitted immediately with
+    [t_(i+1)] (the paper's execution model, now under contention).
+    Every attempt logs its queue wait, producing the
+    [(requested, wait)] records that close the loop with
+    {!Platform.Hpc_queue}. *)
+
+type attempt = {
+  requested : float;  (** Requested walltime [t_i]. *)
+  submitted : float;  (** When this attempt entered the queue. *)
+  started : float;  (** When it was dispatched. *)
+  wait : float;  (** [started - submitted]. *)
+  elapsed : float;  (** [min requested duration] actually run. *)
+  succeeded : bool;  (** Whether the job completed in this attempt. *)
+}
+
+type state = Waiting | Running | Done
+
+type t
+
+val make :
+  id:int ->
+  nodes:int ->
+  arrival:float ->
+  duration:float ->
+  Stochastic_core.Sequence.t ->
+  t
+(** [make ~id ~nodes ~arrival ~duration s] materialises the prefix of
+    [s] needed to cover [duration] and creates a waiting job.
+    @raise Invalid_argument on non-positive [nodes]/[duration] or
+    negative [arrival].
+    @raise Stochastic_core.Sequence.Not_covered if [s] cannot cover
+    [duration]. *)
+
+val id : t -> int
+val nodes : t -> int
+val duration : t -> float
+val arrival : t -> float
+val state : t -> state
+
+val submitted : t -> float
+(** Submission time of the current attempt. *)
+
+val request : t -> float
+(** Requested walltime of the current attempt. *)
+
+val reservations : t -> float array
+(** The materialised reservation prefix (a copy). *)
+
+val start : t -> now:float -> unit
+(** Transition [Waiting -> Running] at [now] (engine only).
+    @raise Invalid_argument if the job is not waiting. *)
+
+val finish_attempt : t -> now:float -> bool
+(** [finish_attempt j ~now] closes the running attempt at [now]:
+    records it, and either completes the job (returns [true]) or
+    resubmits it at [now] with the next reservation (returns [false]).
+    @raise Invalid_argument if the job is not running. *)
+
+val attempts : t -> attempt array
+(** All closed attempts in chronological order. *)
+
+val finish_time : t -> float
+(** @raise Invalid_argument if the job is not [Done]. *)
+
+val total_wait : t -> float
+(** Sum of queue waits over all closed attempts. *)
+
+val response : t -> float
+(** [finish_time - arrival]. @raise Invalid_argument unless [Done]. *)
+
+val stretch : t -> float
+(** [response / duration >= 1]. @raise Invalid_argument unless
+    [Done]. *)

@@ -1,0 +1,117 @@
+module Cost_model = Stochastic_core.Cost_model
+
+type job_metrics = {
+  id : int;
+  nodes : int;
+  duration : float;
+  attempts : int;
+  total_wait : float;
+  response : float;
+  stretch : float;
+  cost : float;
+}
+
+type summary = {
+  jobs : int;
+  nodes : int;
+  policy : string;
+  makespan : float;
+  utilization : float;
+  mean_wait : float;
+  mean_stretch : float;
+  p95_stretch : float;
+  max_stretch : float;
+  mean_attempts : float;
+  mean_cost : float;
+  per_job : job_metrics array;
+}
+
+let job_cost model j =
+  let acc = Numerics.Kahan.create () in
+  Array.iter
+    (fun (a : Job.attempt) ->
+      Numerics.Kahan.add acc
+        (Cost_model.reservation_cost model ~reserved:a.Job.requested
+           ~actual:(Job.duration j)))
+    (Job.attempts j);
+  Numerics.Kahan.sum acc
+
+let summarize ~model (r : Engine.result) =
+  let per_job =
+    Array.map
+      (fun j ->
+        {
+          id = Job.id j;
+          nodes = Job.nodes j;
+          duration = Job.duration j;
+          attempts = Array.length (Job.attempts j);
+          total_wait = Job.total_wait j;
+          response = Job.response j;
+          stretch = Job.stretch j;
+          cost = job_cost model j;
+        })
+      r.Engine.jobs
+  in
+  let mean f =
+    if Array.length per_job = 0 then 0.0
+    else Numerics.Stats.mean (Array.map f per_job)
+  in
+  let stretches = Array.map (fun m -> m.stretch) per_job in
+  Array.sort compare stretches;
+  let n = Array.length stretches in
+  {
+    jobs = n;
+    nodes = r.Engine.nodes;
+    policy = Policy.name r.Engine.policy;
+    makespan = r.Engine.makespan;
+    utilization = Engine.utilization r;
+    mean_wait = mean (fun m -> m.total_wait);
+    mean_stretch = mean (fun m -> m.stretch);
+    p95_stretch =
+      (if n = 0 then 0.0 else Numerics.Stats.quantiles_sorted stretches 0.95);
+    max_stretch = (if n = 0 then 0.0 else stretches.(n - 1));
+    mean_attempts = mean (fun m -> float_of_int m.attempts);
+    mean_cost = mean (fun m -> m.cost);
+    per_job;
+  }
+
+(* ------------------------ closing the loop ------------------------ *)
+
+let wait_records (r : Engine.result) =
+  let records = ref [] in
+  Array.iter
+    (fun j ->
+      Array.iter
+        (fun (a : Job.attempt) ->
+          records :=
+            {
+              Platform.Hpc_queue.requested = a.Job.requested;
+              wait = a.Job.wait;
+            }
+            :: !records)
+        (Job.attempts j))
+    r.Engine.jobs;
+  Array.of_list (List.rev !records)
+
+let clamp_groups groups n = max 2 (min groups (n / 5))
+
+let measured_fit ?(groups = 20) log =
+  let n = Array.length log in
+  if n < 10 then
+    invalid_arg "Metrics.measured_fit: need at least 10 wait records";
+  Platform.Hpc_queue.fit
+    (Platform.Hpc_queue.bin_log ~groups:(clamp_groups groups n) log)
+
+let measured_cost_model ?(beta = 1.0) ?groups (r : Engine.result) =
+  let fit = measured_fit ?groups (wait_records r) in
+  (fit, Platform.Hpc_queue.cost_model_of_fit ~beta fit)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%d jobs on %d nodes (%s): makespan %.2f h, utilization %.1f%%,@ mean \
+     wait %.3f h, mean stretch %.3f (p95 %.3f, max %.3f),@ %.2f \
+     submissions/job, mean cost %.4f"
+    s.jobs s.nodes s.policy s.makespan
+    (100.0 *. s.utilization)
+    s.mean_wait s.mean_stretch s.p95_stretch s.max_stretch s.mean_attempts
+    s.mean_cost

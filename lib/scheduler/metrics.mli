@@ -1,0 +1,65 @@
+(** Cluster-level metrics and the measurement loop back into
+    {!Platform.Hpc_queue}.
+
+    The paper {e assumes} an affine wait-time model
+    [wait ~ alpha * requested + gamma] fitted offline; this module
+    {e measures} it: every attempt in a simulation contributes a
+    [(requested, wait)] record, and the existing binning/OLS pipeline
+    of {!Platform.Hpc_queue} recovers [(alpha, gamma)] from simulated
+    contention, yielding a self-consistent {!Stochastic_core.Cost_model}. *)
+
+type job_metrics = {
+  id : int;
+  nodes : int;
+  duration : float;
+  attempts : int;  (** Submissions paid. *)
+  total_wait : float;  (** Queue wait summed over attempts. *)
+  response : float;  (** Completion minus first arrival. *)
+  stretch : float;  (** [response / duration], [>= 1]. *)
+  cost : float;  (** Modeled cost [C(k, t)] under the cost model. *)
+}
+
+type summary = {
+  jobs : int;
+  nodes : int;
+  policy : string;
+  makespan : float;
+  utilization : float;  (** Allocated node-time over [nodes * makespan]. *)
+  mean_wait : float;
+  mean_stretch : float;
+  p95_stretch : float;
+  max_stretch : float;
+  mean_attempts : float;
+  mean_cost : float;
+  per_job : job_metrics array;
+}
+
+val job_cost : Stochastic_core.Cost_model.t -> Job.t -> float
+(** Eq. (2) cost of a completed job's attempt history: each failed
+    reservation pays in full, the last pays for the actual runtime.
+    With a single job in flight this equals
+    [Platform.Simulator.run_job]'s [total_cost]. *)
+
+val summarize : model:Stochastic_core.Cost_model.t -> Engine.result -> summary
+
+val wait_records : Engine.result -> Platform.Hpc_queue.log
+(** One [(requested, wait)] record per attempt, the raw material of
+    the Fig. 2 pipeline. *)
+
+val measured_fit : ?groups:int -> Platform.Hpc_queue.log -> Numerics.Regression.fit
+(** Bin into at most [groups] (default [20], reduced for small logs)
+    equally-populated groups and fit the affine wait-time function.
+    @raise Invalid_argument on fewer than 10 records. *)
+
+val measured_cost_model :
+  ?beta:float ->
+  ?groups:int ->
+  Engine.result ->
+  Numerics.Regression.fit * Stochastic_core.Cost_model.t
+(** Measure [(alpha, gamma)] from a simulation and instantiate the
+    STOCHASTIC cost model ([beta] defaults to [1.]: jobs pay their
+    runtime).
+    @raise Invalid_argument if the measured slope is non-positive or
+    the intercept negative (no usable affine contention signal). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,73 @@
+type t = Fcfs | Easy_backfill
+
+let name = function Fcfs -> "fcfs" | Easy_backfill -> "easy"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "fcfs" -> Some Fcfs
+  | "easy" | "easy-backfill" | "backfill" -> Some Easy_backfill
+  | _ -> None
+
+let all = [ Fcfs; Easy_backfill ]
+
+(* Earliest time at which [needed] nodes are simultaneously free, given
+   [free] nodes now and running reservations [(end_time, nodes)]. Since
+   every running job is killed at its reservation end, reservation ends
+   are hard upper bounds on release times — the shadow time computed
+   here is a guarantee, not an estimate. Returns the shadow time and
+   the nodes left over at that instant, or [None] when [needed] exceeds
+   the whole machine. *)
+let shadow ~free ~needed running =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) running in
+  let rec go avail = function
+    | [] -> None
+    | (ends, nodes) :: rest ->
+        let avail = avail + nodes in
+        if avail >= needed then Some (ends, avail - needed) else go avail rest
+  in
+  go free sorted
+
+let select policy ~now ~free ~running queue =
+  let n = Array.length queue in
+  let free = ref free in
+  let running = ref running in
+  let started = ref [] in
+  (* Start the longest in-order prefix that fits (both policies). *)
+  let head = ref 0 in
+  let blocked = ref false in
+  while (not !blocked) && !head < n do
+    let nodes, requested = queue.(!head) in
+    if nodes <= !free then begin
+      free := !free - nodes;
+      running := (now +. requested, nodes) :: !running;
+      started := !head :: !started;
+      incr head
+    end
+    else blocked := true
+  done;
+  (match policy with
+  | Fcfs -> ()
+  | Easy_backfill ->
+      if !blocked then begin
+        let head_nodes, _ = queue.(!head) in
+        match shadow ~free:!free ~needed:head_nodes !running with
+        | None -> () (* head can never fit; the engine rejects such jobs *)
+        | Some (shadow_time, spare) ->
+            (* EASY invariant: a candidate may jump the head only if it
+               is gone by the head's guaranteed start (reservation ends
+               are kill times, so this is exact), or if it fits in the
+               nodes the head will leave unused. *)
+            let spare = ref spare in
+            for j = !head + 1 to n - 1 do
+              let nodes, requested = queue.(j) in
+              if
+                nodes <= !free
+                && (now +. requested <= shadow_time || nodes <= !spare)
+              then begin
+                free := !free - nodes;
+                if now +. requested > shadow_time then spare := !spare - nodes;
+                started := j :: !started
+              end
+            done
+      end);
+  List.rev !started

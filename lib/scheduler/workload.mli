@@ -1,0 +1,79 @@
+(** Workload generation for the cluster simulator.
+
+    Draws a stream of jobs with Poisson arrivals, execution times from
+    any {!Distributions.Dist.t}, uniformly distributed node counts, and
+    reservation requests taken from a shared strategy sequence — the
+    multi-user version of the paper's single-job setting. *)
+
+type spec = {
+  jobs : int;  (** Number of jobs to generate. *)
+  arrival_rate : float;  (** Poisson arrival rate (jobs per hour). *)
+  nodes_min : int;  (** Smallest per-job node count. *)
+  nodes_max : int;  (** Largest per-job node count (uniform draw). *)
+  scale_min : float;  (** Smallest per-job size-class factor. *)
+  scale_max : float;
+      (** Largest size-class factor (log-uniform draw). A job of class
+          [c] has duration [c * X] and reservations [c * t_i]: the
+          strategy applied to the user's own scaled distribution. *)
+}
+
+val make_spec :
+  ?nodes_min:int ->
+  ?nodes_max:int ->
+  ?scale_min:float ->
+  ?scale_max:float ->
+  jobs:int ->
+  arrival_rate:float ->
+  unit ->
+  spec
+(** Defaults: [nodes_min = 1], [nodes_max = 8],
+    [scale_min = scale_max = 1.] (homogeneous population).
+    @raise Invalid_argument on non-positive [jobs]/[arrival_rate], an
+    empty node range, or an invalid scale range. *)
+
+val mean_job_nodes : spec -> float
+
+val mean_scale : spec -> float
+(** Mean of the log-uniform size-class factor. *)
+
+val expected_consumed :
+  Distributions.Dist.t -> Stochastic_core.Sequence.t -> float
+(** [expected_consumed d s] is the expected node-hours one job burns
+    under sequence [s]: [E(X) + sum_i t_i * P(X > t_i)] — the true
+    duration plus every reservation killed before success. *)
+
+val rate_for_load :
+  ?nodes_min:int ->
+  ?nodes_max:int ->
+  ?scale_min:float ->
+  ?scale_max:float ->
+  ?sequence:Stochastic_core.Sequence.t ->
+  load:float ->
+  cluster_nodes:int ->
+  Distributions.Dist.t ->
+  float
+(** [rate_for_load ~load ~cluster_nodes d] is the arrival rate at which
+    the offered work [rate * E(consumed) * E(nodes)] equals [load]
+    times the cluster capacity — [load -> 1] drives the system into
+    sustained contention. When [sequence] is given, per-job work uses
+    {!expected_consumed} (accounting for killed reservations);
+    otherwise just [E(X)]. *)
+
+val offered_load :
+  ?sequence:Stochastic_core.Sequence.t ->
+  spec ->
+  cluster_nodes:int ->
+  Distributions.Dist.t ->
+  float
+(** Inverse of {!rate_for_load}: the load a spec offers a cluster. *)
+
+val generate :
+  spec ->
+  Distributions.Dist.t ->
+  sequence:Stochastic_core.Sequence.t ->
+  Randomness.Rng.t ->
+  Job.t array
+(** [generate spec d ~sequence rng] draws the workload. All jobs share
+    [sequence] (they face the same distribution and cost model) but
+    each materialises only the prefix covering its own duration.
+    Deterministic given the rng state. *)
