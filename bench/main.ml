@@ -111,6 +111,14 @@ let run_cluster cfg ~quick =
   print_string (Experiments.Cluster_contention.to_string t);
   report_sanity (Experiments.Cluster_contention.sanity t)
 
+let run_faults cfg ~quick =
+  section
+    "Fault tolerance: failure rate x {restart, checkpoint} x strategy";
+  let jobs = if quick then 120 else 240 in
+  let t = Experiments.Fault_tolerance.run ~cfg ~jobs () in
+  print_string (Experiments.Fault_tolerance.to_string t);
+  report_sanity (Experiments.Fault_tolerance.sanity t)
+
 let run_trace_vs_fit cfg =
   section "Ablation: interpolating traces vs fitting a LogNormal (NeuroHPC)";
   let t = Experiments.Trace_vs_fit.run ~cfg () in
@@ -234,4 +242,5 @@ let () =
   if want "robustness" then run_robustness cfg;
   if want "trace-vs-fit" then run_trace_vs_fit cfg;
   if want "cluster" then run_cluster cfg ~quick;
+  if want "faults" then run_faults cfg ~quick;
   if want "perf" then run_perf ()

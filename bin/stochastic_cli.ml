@@ -250,7 +250,9 @@ let cloud_cmd =
 
 let cluster_cmd =
   let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed jobs
-      nodes policy load nodes_min nodes_max scale_min scale_max =
+      nodes policy load nodes_min nodes_max scale_min scale_max failure_rate
+      fault_model weibull_shape repair max_retries backoff ckpt_period
+      ckpt_cost restart_cost =
     let d = resolve_dist ~hpc dist trace fit in
     let model = resolve_model hpc alpha beta gamma in
     let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
@@ -260,6 +262,37 @@ let cluster_cmd =
       | None ->
           Printf.eprintf "unknown policy %S (use fcfs or easy)\n" policy;
           exit 2
+    in
+    let fault_model_for mtbf =
+      match String.lowercase_ascii fault_model with
+      | "exponential" | "exp" -> Scheduler.Faults.exponential ~mtbf
+      | "weibull" -> Scheduler.Faults.weibull ~mtbf ~shape:weibull_shape
+      | "spot" -> Scheduler.Faults.spot ~mtbf ()
+      | other ->
+          Printf.eprintf
+            "unknown fault model %S (use exponential, weibull or spot)\n"
+            other;
+          exit 2
+    in
+    (* Reject a bad model name even at rate 0, like every other enum. *)
+    ignore (fault_model_for infinity);
+    let faults =
+      if failure_rate <= 0.0 then None
+      else
+        Some
+          (Scheduler.Faults.make ~seed:(seed + 6) ~mean_repair:repair
+             (fault_model_for (1.0 /. failure_rate)))
+    in
+    let retry = Scheduler.Engine.make_retry ?max_retries ~backoff () in
+    let checkpoint =
+      if ckpt_period <= 0.0 then None
+      else
+        Some
+          (Scheduler.Job.make_checkpoint
+             ~params:
+               (Stochastic_core.Checkpoint.make_params
+                  ~checkpoint_cost:ckpt_cost ~restart_cost)
+             ~period:ckpt_period)
     in
     let seq = s.Strategy.build model d in
     let arrival_rate =
@@ -271,15 +304,38 @@ let cluster_cmd =
         ~jobs ~arrival_rate ()
     in
     let rng = Randomness.Rng.create ~seed:(seed + 4) () in
-    let workload = Scheduler.Workload.generate spec d ~sequence:seq rng in
+    let workload =
+      Scheduler.Workload.generate ?checkpoint spec d ~sequence:seq rng
+    in
     let result =
-      Scheduler.Engine.run { Scheduler.Engine.nodes; policy } workload
+      Scheduler.Engine.run
+        (Scheduler.Engine.make_config ?faults ~retry ~nodes ~policy ())
+        workload
     in
     let summary = Scheduler.Metrics.summarize ~model result in
     Format.printf "distribution: %a@." Dist.pp d;
     Format.printf "cost model:   %a@." Cost_model.pp model;
     Format.printf "strategy:     %s, policy: %s@." s.Strategy.name
       (Scheduler.Policy.name policy);
+    (match faults with
+    | None -> ()
+    | Some f ->
+        Format.printf
+          "faults:       %s, MTBF %.2f h/node, mean repair %.2f h, retries \
+           %s, backoff %.2f h@."
+          (Scheduler.Faults.model_name f)
+          (Scheduler.Faults.mtbf f) repair
+          (match max_retries with
+          | None -> "unlimited"
+          | Some r -> string_of_int r)
+          backoff);
+    (match checkpoint with
+    | None -> ()
+    | Some c ->
+        Format.printf
+          "checkpoints:  every %.2f h of work, snapshot %.2f h, restore %.2f \
+           h@."
+          c.Scheduler.Job.period ckpt_cost restart_cost);
     Format.printf "workload:     %d jobs, offered load %.2f (rate %.3f/h, \
                    %d-%d nodes/job)@."
       jobs
@@ -342,16 +398,73 @@ let cluster_cmd =
          & info [ "max-scale" ] ~docv:"C"
              ~doc:"Largest job size-class factor (log-uniform).")
   in
+  let failure_rate_arg =
+    Arg.(value & opt float 0.0
+         & info [ "failure-rate" ] ~docv:"R"
+             ~doc:
+               "Per-node failures per hour (0 = perfectly reliable cluster).")
+  in
+  let fault_model_arg =
+    Arg.(value & opt string "exponential"
+         & info [ "fault-model" ] ~docv:"M"
+             ~doc:
+               "Failure interarrival model: exponential, weibull, or spot \
+                (bursty spot-instance revocations).")
+  in
+  let weibull_shape_arg =
+    Arg.(value & opt float 1.5
+         & info [ "weibull-shape" ] ~docv:"K"
+             ~doc:"Weibull hazard shape (>1 ageing, <1 infant mortality).")
+  in
+  let repair_arg =
+    Arg.(value & opt float 0.1
+         & info [ "repair" ] ~docv:"H"
+             ~doc:"Mean node repair time in hours (exponential).")
+  in
+  let max_retries_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "Failure-caused resubmissions allowed per job before it is \
+                abandoned (default: unlimited).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.0
+         & info [ "backoff" ] ~docv:"H"
+             ~doc:"Delay in hours before resubmitting a failure-killed job.")
+  in
+  let ckpt_period_arg =
+    Arg.(value & opt float 0.0
+         & info [ "ckpt-period" ] ~docv:"H"
+             ~doc:
+               "Hours of work between checkpoints (0 = no checkpointing; \
+                scaled by each job's size class).")
+  in
+  let ckpt_cost_arg =
+    Arg.(value & opt float 0.05
+         & info [ "ckpt-cost" ] ~docv:"H"
+             ~doc:"Time to write one checkpoint snapshot, in hours.")
+  in
+  let restart_cost_arg =
+    Arg.(value & opt float 0.05
+         & info [ "restart-cost" ] ~docv:"H"
+             ~doc:"Time to restore from a snapshot, in hours.")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:
-         "Simulate many stochastic jobs contending for a cluster and measure \
-          the wait-time model that the NeuroHPC scenario assumes.")
+         "Simulate many stochastic jobs contending for a cluster — \
+          optionally with fault injection and checkpoint-aware recovery — \
+          and measure the wait-time model that the NeuroHPC scenario \
+          assumes.")
     Term.(
       const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
       $ seed_arg $ jobs_arg $ nodes_arg $ policy_arg $ load_arg
-      $ nodes_min_arg $ nodes_max_arg $ scale_min_arg $ scale_max_arg)
+      $ nodes_min_arg $ nodes_max_arg $ scale_min_arg $ scale_max_arg
+      $ failure_rate_arg $ fault_model_arg $ weibull_shape_arg $ repair_arg
+      $ max_retries_arg $ backoff_arg $ ckpt_period_arg $ ckpt_cost_arg
+      $ restart_cost_arg)
 
 (* Experiment commands share a tiny driver. *)
 

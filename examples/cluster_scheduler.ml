@@ -38,7 +38,7 @@ let () =
        node counts, so the comparison isolates the dispatch rule. *)
     let rng = Randomness.Rng.create ~seed:7 () in
     let workload = Scheduler.Workload.generate spec d ~sequence rng in
-    Scheduler.Engine.run { Scheduler.Engine.nodes; policy } workload
+    Scheduler.Engine.run (Scheduler.Engine.make_config ~nodes ~policy ()) workload
   in
   let results = List.map run Scheduler.Policy.all in
   List.iter

@@ -66,7 +66,9 @@ let run ?(cfg = Config.paper) ?(jobs = 1500) ?(nodes = 32) ?(load = 1.15) () =
     let rng = Randomness.Rng.copy base_rng in
     let workload = Scheduler.Workload.generate spec d ~sequence rng in
     let result =
-      Scheduler.Engine.run { Scheduler.Engine.nodes; policy } workload
+      Scheduler.Engine.run
+        (Scheduler.Engine.make_config ~nodes ~policy ())
+        workload
     in
     let summary = Scheduler.Metrics.summarize ~model:assumed result in
     let fit = Scheduler.Metrics.measured_fit (Scheduler.Metrics.wait_records result) in

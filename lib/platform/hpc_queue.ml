@@ -24,10 +24,31 @@ let synthetic_log ?(jobs = 5000) ?(alpha = 0.95) ?(gamma = 1.05)
 
 type binned = { centers : float array; mean_waits : float array }
 
+(* A buggy trace (NaN or negative waits, non-positive requests) would
+   otherwise flow through binning and OLS and come out as NaN
+   (alpha, gamma); reject it at the boundary with a diagnostic. *)
+let validate_log log =
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r.requested) || r.requested <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Hpc_queue: record %d has invalid requested runtime %g (must be \
+              positive and finite)"
+             i r.requested);
+      if not (Float.is_finite r.wait) || r.wait < 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Hpc_queue: record %d has invalid wait %g (must be nonnegative \
+              and finite)"
+             i r.wait))
+    log
+
 let bin_log ?(groups = 20) log =
   let n = Array.length log in
   if groups <= 0 then invalid_arg "Hpc_queue.bin_log: groups must be > 0";
   if n < groups then invalid_arg "Hpc_queue.bin_log: fewer jobs than groups";
+  validate_log log;
   let sorted = Array.copy log in
   Array.sort (fun a b -> compare a.requested b.requested) sorted;
   let centers = Array.make groups 0.0 in
@@ -46,7 +67,16 @@ let bin_log ?(groups = 20) log =
   done;
   { centers; mean_waits }
 
-let fit b = Numerics.Regression.ols ~x:b.centers ~y:b.mean_waits
+let fit b =
+  let spread =
+    Array.length b.centers > 0
+    && Array.exists (fun c -> c <> b.centers.(0)) b.centers
+  in
+  if not spread then
+    invalid_arg
+      "Hpc_queue.fit: all requested-runtime bins are equal — an affine wait \
+       model cannot be identified from a degenerate log";
+  Numerics.Regression.ols ~x:b.centers ~y:b.mean_waits
 
 let cost_model_of_fit ?(beta = 1.0) (f : Numerics.Regression.fit) =
   if f.Numerics.Regression.slope <= 0.0 then

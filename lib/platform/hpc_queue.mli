@@ -48,11 +48,16 @@ val bin_log : ?groups:int -> log -> binned
 (** [bin_log log] clusters the jobs into [groups] (default [20],
     as in Fig. 2) equally-populated groups by requested runtime and
     averages each group — the blue points of Fig. 2.
-    @raise Invalid_argument if there are fewer jobs than groups. *)
+    @raise Invalid_argument if there are fewer jobs than groups, or if
+    any record has a non-positive/non-finite requested runtime or a
+    negative/non-finite wait (a buggy trace would otherwise surface as
+    NaN fit coefficients). *)
 
 val fit : binned -> Numerics.Regression.fit
 (** [fit b] fits the affine wait-time function through the group
-    means — the green line of Fig. 2. *)
+    means — the green line of Fig. 2.
+    @raise Invalid_argument if every bin centre is identical (all-equal
+    requested runtimes identify no affine model). *)
 
 val cost_model_of_fit : ?beta:float -> Numerics.Regression.fit -> Stochastic_core.Cost_model.t
 (** [cost_model_of_fit f] instantiates the STOCHASTIC cost model from

@@ -1,4 +1,12 @@
 module Sequence = Stochastic_core.Sequence
+module Checkpoint = Stochastic_core.Checkpoint
+
+type outcome = Success | Timeout | Node_failure
+
+let outcome_name = function
+  | Success -> "success"
+  | Timeout -> "timeout"
+  | Node_failure -> "node-failure"
 
 type attempt = {
   requested : float;
@@ -6,10 +14,18 @@ type attempt = {
   started : float;
   wait : float;
   elapsed : float;
-  succeeded : bool;
+  outcome : outcome;
+  progress_after : float;
 }
 
-type state = Waiting | Running | Done
+type checkpoint = { params : Checkpoint.params; period : float }
+
+let make_checkpoint ~params ~period =
+  if not (Float.is_finite period) || period <= 0.0 then
+    invalid_arg "Job.make_checkpoint: period must be positive and finite";
+  { params; period }
+
+type state = Waiting | Running | Done | Abandoned
 
 type t = {
   id : int;
@@ -17,7 +33,11 @@ type t = {
   duration : float;
   arrival : float;
   reservations : float array;
+  checkpoint : checkpoint option;
   mutable attempt : int;
+  mutable progress : float; (* durably checkpointed work *)
+  mutable failures : int; (* node-failure kills suffered *)
+  mutable epoch : int; (* dispatch counter, invalidates stale events *)
   mutable submitted : float;
   mutable started : float;
   mutable state : state;
@@ -25,7 +45,7 @@ type t = {
   mutable finish : float;
 }
 
-let make ~id ~nodes ~arrival ~duration sequence =
+let make ?checkpoint ~id ~nodes ~arrival ~duration sequence =
   if nodes <= 0 then invalid_arg "Job.make: nodes must be positive";
   if not (Float.is_finite duration) || duration <= 0.0 then
     invalid_arg "Job.make: duration must be positive and finite";
@@ -33,7 +53,9 @@ let make ~id ~nodes ~arrival ~duration sequence =
     invalid_arg "Job.make: arrival must be nonnegative and finite";
   (* Materialise the prefix of the (lazy, possibly infinite) sequence
      up to the first reservation covering the true duration: those are
-     the only requests this job can ever submit. *)
+     the only requests this job can ever submit. With checkpointing the
+     job may need extra attempts (overheads) — it then re-requests the
+     last, covering reservation. *)
   let reservations =
     Sequence.prefix_until (fun r -> r >= duration) sequence
   in
@@ -46,7 +68,11 @@ let make ~id ~nodes ~arrival ~duration sequence =
     duration;
     arrival;
     reservations;
+    checkpoint;
     attempt = 0;
+    progress = 0.0;
+    failures = 0;
+    epoch = 0;
     submitted = arrival;
     started = nan;
     state = Waiting;
@@ -60,45 +86,143 @@ let duration j = j.duration
 let arrival j = j.arrival
 let state j = j.state
 let submitted j = j.submitted
+let progress j = j.progress
+let failures j = j.failures
+let epoch j = j.epoch
+let checkpointed j = j.checkpoint <> None
 let reservations j = Array.copy j.reservations
-let request j = j.reservations.(j.attempt)
+
+let request j =
+  (* Past the materialised prefix (possible only with checkpointing),
+     keep re-requesting the last reservation: it covers the full
+     duration, so a fortiori the remaining work. *)
+  j.reservations.(min j.attempt (Array.length j.reservations - 1))
+
+let remaining j = j.duration -. j.progress
+
+(* Time structure of an attempt under the periodic-checkpoint
+   discipline: restore the last snapshot (restart_cost, only when there
+   is one), then alternate [period] of work and a checkpoint
+   (checkpoint_cost); no checkpoint is taken at completion. Durable
+   progress advances only at completed checkpoints. *)
+
+let restore_time j =
+  match j.checkpoint with
+  | Some c when j.progress > 0.0 -> c.params.Checkpoint.restart_cost
+  | _ -> 0.0
+
+(* Checkpoints paid on the way to completing [w] more work. *)
+let ckpts_to_finish w period =
+  max 0 (int_of_float (Float.ceil ((w /. period) -. 1e-12)) - 1)
+
+let attempt_span j =
+  if j.state <> Waiting && j.state <> Running then
+    invalid_arg "Job.attempt_span: job has no open attempt";
+  let l = request j in
+  let w = remaining j in
+  match j.checkpoint with
+  | None -> if l >= w then (w, true) else (l, false)
+  | Some { params; period } ->
+      let need =
+        restore_time j +. w
+        +. (params.Checkpoint.checkpoint_cost
+           *. float_of_int (ckpts_to_finish w period))
+      in
+      if need <= l +. 1e-9 then (need, true) else (l, false)
+
+(* Durable checkpoints completed [elapsed] into the current attempt. *)
+let snapshots_by j ~elapsed =
+  match j.checkpoint with
+  | None -> 0
+  | Some { params; period } ->
+      let r = restore_time j in
+      let cycle = period +. params.Checkpoint.checkpoint_cost in
+      let k =
+        if elapsed <= r then 0
+        else int_of_float (Float.floor (((elapsed -. r) /. cycle) +. 1e-12))
+      in
+      min (max 0 k) (ckpts_to_finish (remaining j) period)
 
 let start j ~now =
   if j.state <> Waiting then invalid_arg "Job.start: job is not waiting";
   if now < j.submitted -. 1e-9 then
     invalid_arg "Job.start: cannot start before submission";
   j.started <- now;
+  j.epoch <- j.epoch + 1;
   j.state <- Running
 
-let finish_attempt j ~now =
-  if j.state <> Running then
-    invalid_arg "Job.finish_attempt: job is not running";
-  let requested = request j in
-  let succeeded = requested >= j.duration in
-  let elapsed = Float.min requested j.duration in
+let record j ~elapsed ~outcome =
   j.history <-
     {
-      requested;
+      requested = request j;
       submitted = j.submitted;
       started = j.started;
       wait = j.started -. j.submitted;
       elapsed;
-      succeeded;
+      outcome;
+      progress_after = j.progress;
     }
-    :: j.history;
-  if succeeded then begin
+    :: j.history
+
+let finish_attempt j ~now =
+  if j.state <> Running then
+    invalid_arg "Job.finish_attempt: job is not running";
+  let span, completes = attempt_span j in
+  if completes then begin
+    j.progress <- j.duration;
+    record j ~elapsed:span ~outcome:Success;
     j.state <- Done;
     j.finish <- now;
     true
   end
   else begin
-    (* Timed out: the paper's execution model resubmits the job
-       immediately with its next reservation length. *)
+    (* Timed out: the reservation was consumed in full. Checkpointed
+       jobs keep the work covered by completed snapshots; plain jobs
+       restart from scratch (the paper's execution model). *)
+    let l = request j in
+    (match j.checkpoint with
+    | None -> ()
+    | Some { period; _ } ->
+        let k = snapshots_by j ~elapsed:l in
+        let gained = float_of_int k *. period in
+        if
+          gained <= 0.0
+          && j.attempt >= Array.length j.reservations - 1
+        then
+          (* Every future attempt re-requests the same last reservation
+             and would gain nothing: the overheads have made the job
+             impossible to finish. *)
+          raise (Sequence.Not_covered j.duration);
+        j.progress <- j.progress +. gained);
+    record j ~elapsed:l ~outcome:Timeout;
     j.attempt <- j.attempt + 1;
     j.submitted <- now;
     j.state <- Waiting;
     false
   end
+
+let interrupt j ~now =
+  if j.state <> Running then invalid_arg "Job.interrupt: job is not running";
+  let elapsed = Float.max 0.0 (now -. j.started) in
+  (* Resume from the last completed snapshot; without checkpointing the
+     attempt is lost entirely. The reservation index does not advance:
+     the request was not too short, the node died under it. *)
+  (match j.checkpoint with
+  | None -> ()
+  | Some { period; _ } ->
+      let k = snapshots_by j ~elapsed in
+      j.progress <- j.progress +. (float_of_int k *. period));
+  record j ~elapsed ~outcome:Node_failure;
+  j.failures <- j.failures + 1;
+  j.state <- Waiting
+
+let resubmit j ~at =
+  if j.state <> Waiting then invalid_arg "Job.resubmit: job is not waiting";
+  j.submitted <- at
+
+let abandon j =
+  if j.state <> Waiting then invalid_arg "Job.abandon: job is not waiting";
+  j.state <- Abandoned
 
 let attempts j = Array.of_list (List.rev j.history)
 

@@ -5,6 +5,7 @@ type job_metrics = {
   nodes : int;
   duration : float;
   attempts : int;
+  failures : int;
   total_wait : float;
   response : float;
   stretch : float;
@@ -13,6 +14,8 @@ type job_metrics = {
 
 type summary = {
   jobs : int;
+  completed : int;
+  abandoned : int;
   nodes : int;
   policy : string;
   makespan : float;
@@ -23,20 +26,43 @@ type summary = {
   max_stretch : float;
   mean_attempts : float;
   mean_cost : float;
+  node_failures : int;
+  failure_kills : int;
+  timeout_kills : int;
+  goodput_node_time : float;
+  failure_node_time : float;
+  timeout_node_time : float;
   per_job : job_metrics array;
 }
+
+(* Attempt pricing by kill cause: completed and timed-out attempts pay
+   their full reservation at alpha (the machine was booked), while a
+   failure-killed attempt is billed only for the node-time it actually
+   occupied — the platform revoked the capacity, as on spot markets.
+   Every attempt pays the per-submission fee gamma. *)
+let attempt_cost model (a : Job.attempt) =
+  match a.Job.outcome with
+  | Job.Success | Job.Timeout ->
+      Cost_model.reservation_cost model ~reserved:a.Job.requested
+        ~actual:a.Job.elapsed
+  | Job.Node_failure ->
+      Cost_model.reservation_cost model ~reserved:a.Job.elapsed
+        ~actual:a.Job.elapsed
 
 let job_cost model j =
   let acc = Numerics.Kahan.create () in
   Array.iter
-    (fun (a : Job.attempt) ->
-      Numerics.Kahan.add acc
-        (Cost_model.reservation_cost model ~reserved:a.Job.requested
-           ~actual:(Job.duration j)))
+    (fun a -> Numerics.Kahan.add acc (attempt_cost model a))
     (Job.attempts j);
   Numerics.Kahan.sum acc
 
 let summarize ~model (r : Engine.result) =
+  let done_jobs =
+    Array.of_list
+      (List.filter
+         (fun j -> Job.state j = Job.Done)
+         (Array.to_list r.Engine.jobs))
+  in
   let per_job =
     Array.map
       (fun j ->
@@ -45,12 +71,13 @@ let summarize ~model (r : Engine.result) =
           nodes = Job.nodes j;
           duration = Job.duration j;
           attempts = Array.length (Job.attempts j);
+          failures = Job.failures j;
           total_wait = Job.total_wait j;
           response = Job.response j;
           stretch = Job.stretch j;
           cost = job_cost model j;
         })
-      r.Engine.jobs
+      done_jobs
   in
   let mean f =
     if Array.length per_job = 0 then 0.0
@@ -59,8 +86,32 @@ let summarize ~model (r : Engine.result) =
   let stretches = Array.map (fun m -> m.stretch) per_job in
   Array.sort compare stretches;
   let n = Array.length stretches in
+  (* Node-time split by kill cause, over every attempt of every job
+     (abandoned ones included: their burnt node-hours are real). *)
+  let failure_kills = ref 0 and timeout_kills = ref 0 in
+  let good = Numerics.Kahan.create ()
+  and fail = Numerics.Kahan.create ()
+  and tout = Numerics.Kahan.create () in
+  Array.iter
+    (fun j ->
+      let nodes = float_of_int (Job.nodes j) in
+      Array.iter
+        (fun (a : Job.attempt) ->
+          let node_time = nodes *. a.Job.elapsed in
+          match a.Job.outcome with
+          | Job.Success -> Numerics.Kahan.add good node_time
+          | Job.Timeout ->
+              incr timeout_kills;
+              Numerics.Kahan.add tout node_time
+          | Job.Node_failure ->
+              incr failure_kills;
+              Numerics.Kahan.add fail node_time)
+        (Job.attempts j))
+    r.Engine.jobs;
   {
-    jobs = n;
+    jobs = Array.length r.Engine.jobs;
+    completed = Array.length done_jobs;
+    abandoned = r.Engine.abandoned;
     nodes = r.Engine.nodes;
     policy = Policy.name r.Engine.policy;
     makespan = r.Engine.makespan;
@@ -72,8 +123,20 @@ let summarize ~model (r : Engine.result) =
     max_stretch = (if n = 0 then 0.0 else stretches.(n - 1));
     mean_attempts = mean (fun m -> float_of_int m.attempts);
     mean_cost = mean (fun m -> m.cost);
+    node_failures = r.Engine.node_failures;
+    failure_kills = !failure_kills;
+    timeout_kills = !timeout_kills;
+    goodput_node_time = Numerics.Kahan.sum good;
+    failure_node_time = Numerics.Kahan.sum fail;
+    timeout_node_time = Numerics.Kahan.sum tout;
     per_job;
   }
+
+let badput s = s.failure_node_time +. s.timeout_node_time
+
+let goodput_fraction s =
+  let total = s.goodput_node_time +. badput s in
+  if total <= 0.0 then 1.0 else s.goodput_node_time /. total
 
 (* ------------------------ closing the loop ------------------------ *)
 
@@ -108,10 +171,18 @@ let measured_cost_model ?(beta = 1.0) ?groups (r : Engine.result) =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "%d jobs on %d nodes (%s): makespan %.2f h, utilization %.1f%%,@ mean \
-     wait %.3f h, mean stretch %.3f (p95 %.3f, max %.3f),@ %.2f \
+    "%d/%d jobs done on %d nodes (%s): makespan %.2f h, utilization %.1f%%,@ \
+     mean wait %.3f h, mean stretch %.3f (p95 %.3f, max %.3f),@ %.2f \
      submissions/job, mean cost %.4f"
-    s.jobs s.nodes s.policy s.makespan
+    s.completed s.jobs s.nodes s.policy s.makespan
     (100.0 *. s.utilization)
     s.mean_wait s.mean_stretch s.p95_stretch s.max_stretch s.mean_attempts
-    s.mean_cost
+    s.mean_cost;
+  if s.node_failures > 0 || s.abandoned > 0 then
+    Format.fprintf fmt
+      ",@ %d node failures (%d attempts killed, %d abandoned jobs),@ \
+       node-time: %.1f good / %.1f lost to failures / %.1f lost to timeouts \
+       (goodput %.1f%%)"
+      s.node_failures s.failure_kills s.abandoned s.goodput_node_time
+      s.failure_node_time s.timeout_node_time
+      (100.0 *. goodput_fraction s)

@@ -1,18 +1,24 @@
-(** Cluster-level metrics and the measurement loop back into
-    {!Platform.Hpc_queue}.
+(** Cluster-level metrics, failure accounting, and the measurement
+    loop back into {!Platform.Hpc_queue}.
 
     The paper {e assumes} an affine wait-time model
     [wait ~ alpha * requested + gamma] fitted offline; this module
     {e measures} it: every attempt in a simulation contributes a
     [(requested, wait)] record, and the existing binning/OLS pipeline
     of {!Platform.Hpc_queue} recovers [(alpha, gamma)] from simulated
-    contention, yielding a self-consistent {!Stochastic_core.Cost_model}. *)
+    contention, yielding a self-consistent {!Stochastic_core.Cost_model}.
+
+    Under fault injection the summary additionally splits consumed
+    node-time by kill cause: {e goodput} (attempts that completed
+    their job, checkpoint overheads included), node-time lost to
+    reservation timeouts, and node-time lost to node failures. *)
 
 type job_metrics = {
   id : int;
   nodes : int;
   duration : float;
   attempts : int;  (** Submissions paid. *)
+  failures : int;  (** Attempts killed by node failures. *)
   total_wait : float;  (** Queue wait summed over attempts. *)
   response : float;  (** Completion minus first arrival. *)
   stretch : float;  (** [response / duration], [>= 1]. *)
@@ -20,7 +26,9 @@ type job_metrics = {
 }
 
 type summary = {
-  jobs : int;
+  jobs : int;  (** Submitted. *)
+  completed : int;  (** Reached [Done]. *)
+  abandoned : int;  (** Exhausted the failure-retry budget. *)
   nodes : int;
   policy : string;
   makespan : float;
@@ -31,16 +39,35 @@ type summary = {
   max_stretch : float;
   mean_attempts : float;
   mean_cost : float;
-  per_job : job_metrics array;
+  node_failures : int;  (** Node outages during the run. *)
+  failure_kills : int;  (** Attempts killed by failures. *)
+  timeout_kills : int;  (** Attempts killed by reservation expiry. *)
+  goodput_node_time : float;  (** Node-time of completing attempts. *)
+  failure_node_time : float;  (** Node-time burnt by failed attempts. *)
+  timeout_node_time : float;  (** Node-time burnt by timeouts. *)
+  per_job : job_metrics array;  (** Completed jobs only. *)
 }
 
+val attempt_cost : Stochastic_core.Cost_model.t -> Job.attempt -> float
+(** Cost of one attempt. Completed and timed-out attempts pay their
+    full reservation at [alpha]; a failure-killed attempt pays only for
+    the node-time it occupied (the platform revoked the capacity, as
+    on spot markets). Every attempt pays [gamma]. *)
+
 val job_cost : Stochastic_core.Cost_model.t -> Job.t -> float
-(** Eq. (2) cost of a completed job's attempt history: each failed
-    reservation pays in full, the last pays for the actual runtime.
-    With a single job in flight this equals
+(** Eq. (2) cost of a job's attempt history, generalised by
+    {!attempt_cost}. With a single reliable job in flight this equals
     [Platform.Simulator.run_job]'s [total_cost]. *)
 
 val summarize : model:Stochastic_core.Cost_model.t -> Engine.result -> summary
+(** Wait/stretch/cost means are over completed jobs; the node-time
+    split counts every attempt, abandoned jobs included. *)
+
+val badput : summary -> float
+(** [failure_node_time + timeout_node_time]. *)
+
+val goodput_fraction : summary -> float
+(** Goodput over total consumed node-time ([1.] when nothing ran). *)
 
 val wait_records : Engine.result -> Platform.Hpc_queue.log
 (** One [(requested, wait)] record per attempt, the raw material of
@@ -49,7 +76,8 @@ val wait_records : Engine.result -> Platform.Hpc_queue.log
 val measured_fit : ?groups:int -> Platform.Hpc_queue.log -> Numerics.Regression.fit
 (** Bin into at most [groups] (default [20], reduced for small logs)
     equally-populated groups and fit the affine wait-time function.
-    @raise Invalid_argument on fewer than 10 records. *)
+    @raise Invalid_argument on fewer than 10 records or a degenerate
+    log (see {!Platform.Hpc_queue.bin_log}). *)
 
 val measured_cost_model :
   ?beta:float ->

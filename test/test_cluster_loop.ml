@@ -39,7 +39,9 @@ let fit_for_seed =
         let rng = Randomness.Rng.create ~seed () in
         let workload = Workload.generate spec d ~sequence rng in
         let r =
-          Engine.run { Engine.nodes; policy = Policy.Easy_backfill } workload
+          Engine.run
+            (Engine.make_config ~nodes ~policy:Policy.Easy_backfill ())
+            workload
         in
         let fit = Metrics.measured_fit (Metrics.wait_records r) in
         Hashtbl.add cache seed fit;
@@ -107,7 +109,11 @@ let test_measured_cost_model_end_to_end () =
   in
   let rng = Randomness.Rng.create ~seed:1 () in
   let workload = Workload.generate spec d ~sequence rng in
-  let r = Engine.run { Engine.nodes = 32; policy = Policy.Easy_backfill } workload in
+  let r =
+    Engine.run
+      (Engine.make_config ~nodes:32 ~policy:Policy.Easy_backfill ())
+      workload
+  in
   let fit, m = Metrics.measured_cost_model r in
   let expected = fit_for_seed 1 in
   Alcotest.(check (float 1e-12))

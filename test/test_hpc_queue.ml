@@ -69,6 +69,38 @@ let test_turnaround () =
     ((0.95 *. 2.0) +. 1.05 +. 1.5)
     (H.turnaround m ~requested:2.0 ~actual:1.5)
 
+let test_degenerate_inputs_rejected () =
+  let record requested wait = { H.requested; wait } in
+  let good i = record (float_of_int (i + 1)) 1.0 in
+  let rejects name log =
+    Alcotest.(check bool) name true
+      (try
+         ignore (H.bin_log ~groups:2 log);
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "NaN requested"
+    (Array.init 20 (fun i -> if i = 7 then record Float.nan 1.0 else good i));
+  rejects "negative requested"
+    (Array.init 20 (fun i -> if i = 3 then record (-2.0) 1.0 else good i));
+  rejects "infinite requested"
+    (Array.init 20 (fun i -> if i = 11 then record infinity 1.0 else good i));
+  rejects "NaN wait"
+    (Array.init 20 (fun i -> if i = 5 then record 1.0 Float.nan else good i));
+  rejects "negative wait"
+    (Array.init 20 (fun i -> if i = 9 then record 1.0 (-0.5) else good i))
+
+let test_all_equal_requests_rejected () =
+  (* A flat log used to fit to (NaN, NaN) silently; it must raise. *)
+  let flat = Array.make 40 { H.requested = 2.0; wait = 1.0 } in
+  Alcotest.(check bool) "all-equal requests rejected with a message" true
+    (try
+       ignore (H.fit (H.bin_log ~groups:4 flat));
+       false
+     with Invalid_argument msg ->
+       (* The diagnostic must name the degeneracy, not just NaN. *)
+       String.length msg > 0 && not (String.equal msg "nan"))
+
 let prop_wait_grows_with_requested =
   QCheck.Test.make ~count:100
     ~name:"binned mean waits grow with requested runtime (noiseless)"
@@ -96,6 +128,10 @@ let () =
             test_fit_recovers_ground_truth;
           Alcotest.test_case "cost_model_of_fit" `Quick test_cost_model_of_fit;
           Alcotest.test_case "turnaround" `Quick test_turnaround;
+          Alcotest.test_case "degenerate records rejected" `Quick
+            test_degenerate_inputs_rejected;
+          Alcotest.test_case "flat log rejected" `Quick
+            test_all_equal_requests_rejected;
         ] );
       ( "property",
         [ QCheck_alcotest.to_alcotest prop_wait_grows_with_requested ] );

@@ -175,7 +175,7 @@ let small_run ?(jobs = 200) ?(nodes = 16) ?(seed = 1) policy =
   in
   let rng = Randomness.Rng.create ~seed () in
   let workload = Workload.generate spec d ~sequence rng in
-  Engine.run { Engine.nodes; policy } workload
+  Engine.run (Engine.make_config ~nodes ~policy ()) workload
 
 let test_determinism () =
   let summary r = Metrics.summarize ~model:C.neuro_hpc r in
@@ -235,7 +235,9 @@ let test_zero_contention_matches_simulator () =
   let spec = Workload.make_spec ~jobs:80 ~arrival_rate:0.01 () in
   let rng = Randomness.Rng.create ~seed:9 () in
   let workload = Workload.generate spec d ~sequence rng in
-  let r = Engine.run { Engine.nodes = 10_000; policy = Policy.Fcfs } workload in
+  let r =
+    Engine.run (Engine.make_config ~nodes:10_000 ~policy:Policy.Fcfs ()) workload
+  in
   Array.iter
     (fun j ->
       let o = Platform.Simulator.run_job m sequence ~duration:(Job.duration j) in
@@ -265,7 +267,10 @@ let test_engine_rejects_oversized_job () =
   let j = Job.make ~id:0 ~nodes:8 ~arrival:0.0 ~duration:2.0 sequence in
   Alcotest.(check bool) "oversized job rejected" true
     (try
-       ignore (Engine.run { Engine.nodes = 4; policy = Policy.Fcfs } [| j |]);
+       ignore
+         (Engine.run
+            (Engine.make_config ~nodes:4 ~policy:Policy.Fcfs ())
+            [| j |]);
        false
      with Invalid_argument _ -> true)
 
