@@ -119,6 +119,13 @@ let run_faults cfg ~quick =
   print_string (Experiments.Fault_tolerance.to_string t);
   report_sanity (Experiments.Fault_tolerance.sanity t)
 
+let run_robust_solve cfg =
+  section
+    "Robust solver cascade: tier counts and validation overhead (Table 1)";
+  let t = Experiments.Robust_solve.run ~cfg () in
+  print_string (Experiments.Robust_solve.to_string t);
+  report_sanity (Experiments.Robust_solve.sanity t)
+
 let run_trace_vs_fit cfg =
   section "Ablation: interpolating traces vs fitting a LogNormal (NeuroHPC)";
   let t = Experiments.Trace_vs_fit.run ~cfg () in
@@ -178,6 +185,12 @@ let perf_tests () =
     Test.make ~name:"specfun/inverse-betai"
       (Staged.stage (fun () ->
            ignore (Numerics.Specfun.inverse_betai 2.0 2.0 0.3)));
+    Test.make ~name:"robust/dist-check-lognormal"
+      (Staged.stage (fun () -> ignore (Robust.Dist_check.run lognormal)));
+    Test.make ~name:"robust/solve-exp-quick"
+      (Staged.stage (fun () ->
+           ignore
+             (Robust.Solver.solve ~budget:Robust.Solver.quick_budget cost exp1)));
   ]
 
 let run_perf () =
@@ -240,6 +253,7 @@ let () =
   if want "ablation-bf" then run_ablation_bf cfg;
   if want "ablation-eps" then run_ablation_eps cfg;
   if want "robustness" then run_robustness cfg;
+  if want "robust-solve" then run_robust_solve cfg;
   if want "trace-vs-fit" then run_trace_vs_fit cfg;
   if want "cluster" then run_cluster cfg ~quick;
   if want "faults" then run_faults cfg ~quick;

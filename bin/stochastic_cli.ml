@@ -57,6 +57,10 @@ let resolve_dist ?(hpc = false) name trace fit =
       | "fmriqa" ->
           if hpc then Platform.Traces.(distribution_hours fmriqa)
           else Platform.Traces.(distribution fmriqa)
+      (* Infinite variance: not in the registry (the raw solvers need
+         the Theorem 2 bounds), but exposed here to demonstrate the
+         robust solver's fallback cascade. *)
+      | "frechetheavy" -> Distributions.Frechet.heavy_tail
       | n -> (
           match Distributions.Registry.find n with
           | Some d -> d
@@ -466,6 +470,161 @@ let cluster_cmd =
       $ max_retries_arg $ backoff_arg $ ckpt_period_arg $ ckpt_cost_arg
       $ restart_cost_arg)
 
+(* --------------------- robust solving commands -------------------- *)
+
+let check_cmd =
+  let run dist trace fit hpc strict =
+    let d = resolve_dist ~hpc dist trace fit in
+    let report = Robust.Dist_check.run d in
+    Format.printf "%a@." Robust.Dist_check.pp report;
+    if not (Robust.Dist_check.is_valid report) then exit 4
+    else if strict && Robust.Dist_check.warnings report <> [] then exit 3
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero (3) when the check emits warnings.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the numerical self-check on a distribution and print the \
+          diagnostic report. Exits 4 on fatal inconsistencies.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ strict_arg)
+
+let solve_cmd =
+  let run dist trace fit hpc alpha beta gamma m n disc_n seed count strict
+      no_validate exact quick max_seconds max_evals tiers =
+    let d = resolve_dist ~hpc dist trace fit in
+    let model = resolve_model hpc alpha beta gamma in
+    let base =
+      if quick then Robust.Solver.quick_budget
+      else Robust.Solver.default_budget
+    in
+    let budget =
+      {
+        Robust.Solver.bf_candidates = m;
+        mc_samples = n;
+        dp_points = disc_n;
+        max_seconds = Option.value max_seconds ~default:base.Robust.Solver.max_seconds;
+        max_evaluations =
+          Option.value max_evals ~default:base.Robust.Solver.max_evaluations;
+      }
+    in
+    let tiers =
+      match tiers with
+      | None -> Robust.Solver.all_tiers
+      | Some names ->
+          String.split_on_char ',' names
+          |> List.map (fun t ->
+                 match String.lowercase_ascii (String.trim t) with
+                 | "brute-force" | "bruteforce" | "bf" ->
+                     Robust.Solver.Brute_force
+                 | "dp" | "equal-probability" | "equal-prob" ->
+                     Robust.Solver.Dp_equal_probability
+                 | "mean-doubling" | "doubling" -> Robust.Solver.Mean_doubling
+                 | other ->
+                     Printf.eprintf
+                       "unknown tier %S (use brute-force, dp, mean-doubling)\n"
+                       other;
+                     exit 2)
+    in
+    match
+      Robust.Solver.solve ~budget ~tiers ~validate:(not no_validate) ~exact
+        ~seed model d
+    with
+    | Error e ->
+        Format.eprintf "solve failed: %a@." Robust.Solver.pp_error e;
+        exit (Robust.Solver.exit_code e)
+    | Ok sol ->
+        Format.printf "distribution: %a@." Dist.pp d;
+        Format.printf "cost model:   %a@." Cost_model.pp model;
+        Format.printf "%a@." Robust.Solver.pp_diagnostics
+          sol.Robust.Solver.diagnostics;
+        let shown = min count (Array.length sol.Robust.Solver.head) in
+        Format.printf "sequence:     [";
+        for i = 0 to shown - 1 do
+          if i > 0 then Format.printf "; ";
+          Format.printf "%.4g" sol.Robust.Solver.head.(i)
+        done;
+        if Array.length sol.Robust.Solver.head > shown then
+          Format.printf "; ...";
+        Format.printf "]@.";
+        Format.printf "expected cost: %.6f (normalized %.4f)@."
+          sol.Robust.Solver.cost sol.Robust.Solver.normalized;
+        if strict && Robust.Solver.degraded sol then begin
+          let r =
+            List.hd sol.Robust.Solver.diagnostics.Robust.Solver.rejected
+          in
+          Format.eprintf
+            "strict mode: degraded to %s because %s was rejected (%s)@."
+            (Robust.Solver.tier_name
+               sol.Robust.Solver.diagnostics.Robust.Solver.chosen)
+            (Robust.Solver.tier_name r.Robust.Solver.tier)
+            (Robust.Solver.error_to_string r.Robust.Solver.reason);
+          exit 3
+        end
+  in
+  let count_arg =
+    Arg.(value & opt int 10
+         & info [ "count"; "k" ] ~docv:"K" ~doc:"Reservations to print.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:
+               "Exit non-zero (3) when the answer did not come from the \
+                first cascade tier.")
+  in
+  let no_validate_arg =
+    Arg.(value & flag
+         & info [ "no-validate" ]
+             ~doc:"Skip the distribution self-check before solving.")
+  in
+  let exact_arg =
+    Arg.(value & flag
+         & info [ "exact" ]
+             ~doc:
+               "Rank brute-force candidates by the deterministic Eq. (4) \
+                series instead of Monte-Carlo.")
+  in
+  let quick_budget_arg =
+    Arg.(value & flag
+         & info [ "quick-budget" ]
+             ~doc:"Start from the reduced smoke-test budget.")
+  in
+  let max_seconds_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-seconds" ] ~docv:"S"
+             ~doc:"Wall-clock guard for the whole solve.")
+  in
+  let max_evals_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-evaluations" ] ~docv:"E"
+             ~doc:"Total evaluation budget across all tiers.")
+  in
+  let tiers_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tiers" ] ~docv:"T1,T2,..."
+             ~doc:
+               "Comma-separated cascade (subset/reorder of brute-force, dp, \
+                mean-doubling).")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Solve through the validated, budgeted fallback cascade \
+          (brute-force, then equal-probability DP, then mean-doubling) and \
+          print the cascade diagnostics. Exit codes: 0 ok, 3 strict-mode \
+          degradation, 4 invalid distribution, 5 non-convergent, 6 budget \
+          exhausted, 7 invalid parameter.")
+    Term.(
+      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      $ beta_arg $ gamma_arg $ m_arg $ n_mc_arg $ disc_n_arg $ seed_arg
+      $ count_arg $ strict_arg $ no_validate_arg $ exact_arg
+      $ quick_budget_arg $ max_seconds_arg $ max_evals_arg $ tiers_arg)
+
 (* Experiment commands share a tiny driver. *)
 
 let quick_arg =
@@ -534,6 +693,12 @@ let robustness_cmd =
     "Ablation: strategies computed from finite-trace fits vs the oracle."
     (fun cfg -> Experiments.Robustness.(to_string (run ~cfg ())))
 
+let robust_solve_cmd =
+  experiment_cmd "robust-solve"
+    "Bench the robust solver cascade (tier counts, validation overhead) over \
+     the Table 1 distributions."
+    (fun cfg -> Experiments.Robust_solve.(to_string (run ~cfg ())))
+
 let trace_vs_fit_cmd =
   experiment_cmd "trace-vs-fit"
     "Ablation: interpolated-trace vs LogNormal-fit strategies." (fun cfg ->
@@ -545,6 +710,8 @@ let main =
     (Cmd.info "stochastic-reservations" ~version:"1.0.0" ~doc)
     [
       sequence_cmd;
+      solve_cmd;
+      check_cmd;
       evaluate_cmd;
       simulate_cmd;
       cluster_cmd;
@@ -562,6 +729,7 @@ let main =
       ablation_bf_cmd;
       ablation_eps_cmd;
       robustness_cmd;
+      robust_solve_cmd;
       trace_vs_fit_cmd;
     ]
 

@@ -1,5 +1,29 @@
 module Dist = Distributions.Dist
 
+type stop =
+  | Unsupported_t1 of float
+  | Density_underflow of { t : float; survival : float }
+  | Non_finite of { t_prev : float; next : float }
+  | Non_increasing of { t_prev : float; next : float }
+  | Too_long of int
+
+let stop_to_string = function
+  | Unsupported_t1 t1 ->
+      Printf.sprintf "t1 = %g outside the distribution support" t1
+  | Density_underflow { t; survival } ->
+      Printf.sprintf
+        "density underflowed to zero at t = %g with %.3g survival mass \
+         uncovered"
+        t survival
+  | Non_finite { t_prev; next } ->
+      Printf.sprintf "recurrence produced the non-finite value %g after t = %g"
+        next t_prev
+  | Non_increasing { t_prev; next } ->
+      Printf.sprintf
+        "recurrence is not strictly increasing (%g after t = %g)" next t_prev
+  | Too_long n ->
+      Printf.sprintf "sequence did not reach coverage within %d elements" n
+
 let next m d ~t_prev2 ~t_prev1 =
   let open Cost_model in
   let f1 = d.Dist.pdf t_prev1 in
@@ -12,7 +36,7 @@ let next m d ~t_prev2 ~t_prev1 =
 let generate ?(coverage = 1.0 -. 1e-9) ?(max_len = 1000) m d ~t1 =
   let a = Dist.lower d and b = Dist.upper d in
   if not (Float.is_finite t1) || t1 <= a || t1 > b then
-    Error "t1 outside the distribution support"
+    Error (Unsupported_t1 t1)
   else begin
     let out = ref [ t1 ] in
     let len = ref 1 in
@@ -23,31 +47,46 @@ let generate ?(coverage = 1.0 -. 1e-9) ?(max_len = 1000) m d ~t1 =
     while !status = `Running do
       if !len >= max_len then status := `Too_long
       else begin
-        let t = next m d ~t_prev2:!t_prev2 ~t_prev1:!t_prev1 in
-        if not (Float.is_finite t) then status := `Not_finite
-        else if t <= !t_prev1 then status := `Not_increasing
+        (* Eq. (11) divides by f t_(i-1): deep in the tail the density
+           underflows to 0 before the CDF reaches the coverage target
+           (heavy tails, near-point masses), which would propagate
+           inf/nan through [next]. Detect it and stop typed instead. *)
+        let f1 = d.Dist.pdf !t_prev1 in
+        if f1 <= 0.0 || Float.is_nan f1 then
+          status := `Underflow (!t_prev1, Dist.sf d !t_prev1)
         else begin
-          let t = if t >= b then b else t in
-          out := t :: !out;
-          incr len;
-          t_prev2 := !t_prev1;
-          t_prev1 := t;
-          if t >= b || d.Dist.cdf t >= coverage then status := `Done
+          let t = next m d ~t_prev2:!t_prev2 ~t_prev1:!t_prev1 in
+          if not (Float.is_finite t) then status := `Not_finite (!t_prev1, t)
+          else if t <= !t_prev1 then status := `Not_increasing (!t_prev1, t)
+          else begin
+            let t = if t >= b then b else t in
+            out := t :: !out;
+            incr len;
+            t_prev2 := !t_prev1;
+            t_prev1 := t;
+            if t >= b || d.Dist.cdf t >= coverage then status := `Done
+          end
         end
       end
     done;
     match !status with
     | `Done -> Ok (Array.of_list (List.rev !out))
-    | `Too_long -> Error "sequence did not reach coverage within max_len"
-    | `Not_finite -> Error "recurrence produced a non-finite value"
-    | `Not_increasing -> Error "recurrence is not strictly increasing"
+    | `Too_long -> Error (Too_long max_len)
+    | `Underflow (t, survival) -> Error (Density_underflow { t; survival })
+    | `Not_finite (t_prev, next) -> Error (Non_finite { t_prev; next })
+    | `Not_increasing (t_prev, next) -> Error (Non_increasing { t_prev; next })
     | `Running -> assert false
   end
 
 let sequence m d ~t1 =
   let raw =
     let rec step (t_prev2, t_prev1) () =
-      let t = next m d ~t_prev2 ~t_prev1 in
+      let t =
+        (* Same guard as [generate]: a zero density must not divide. *)
+        let f1 = d.Dist.pdf t_prev1 in
+        if f1 <= 0.0 || Float.is_nan f1 then nan
+        else next m d ~t_prev2 ~t_prev1
+      in
       (* sanitize takes over when t is unusable. *)
       Seq.Cons (t, step (t_prev1, t))
     in

@@ -13,11 +13,33 @@
     and BRUTE-FORCE discards candidates that break it
     (Sect. 5.2, Fig. 3). *)
 
+type stop =
+  | Unsupported_t1 of float
+      (** [t1] is non-finite or outside the support [(a, b]]. *)
+  | Density_underflow of { t : float; survival : float }
+      (** [f t] underflowed to 0 (or was nan) while [survival = 1 - F t]
+          mass was still uncovered — Eq. (11) divides by [f t_(i-1)],
+          so the recurrence cannot be continued past [t]. Typical deep
+          in the tail of heavy-tailed or near-point-mass laws. *)
+  | Non_finite of { t_prev : float; next : float }
+      (** Eq. (11) produced a non-finite [next] after [t_prev]. *)
+  | Non_increasing of { t_prev : float; next : float }
+      (** Eq. (11) produced [next <= t_prev]: the candidate [t1] is off
+          every optimal trajectory (Sect. 5.2). *)
+  | Too_long of int
+      (** [max_len] elements did not reach the coverage target. *)
+
+(** Why the recurrence stopped before covering the target mass. *)
+
+val stop_to_string : stop -> string
+(** [stop_to_string s] is a one-line human-readable diagnostic. *)
+
 val next :
   Cost_model.t -> Distributions.Dist.t -> t_prev2:float -> t_prev1:float -> float
 (** [next m d ~t_prev2 ~t_prev1] is Eq. (11) for [t_i] given
     [t_(i-2)] and [t_(i-1)]. May return a non-finite or non-increasing
-    value when [t_prev1] is not on an optimal trajectory. *)
+    value when [t_prev1] is not on an optimal trajectory or when the
+    density underflows at [t_prev1]. *)
 
 val generate :
   ?coverage:float ->
@@ -25,21 +47,22 @@ val generate :
   Cost_model.t ->
   Distributions.Dist.t ->
   t1:float ->
-  (float array, string) result
+  (float array, stop) result
 (** [generate m d ~t1] materialises the strictly increasing prefix of
     the recurrence sequence starting at [t1], stopping once
     [F t_i >= coverage] (default [1 - 1e-9]) or once the support's
     upper bound is reached (which is then included as the final
-    element). Returns [Error reason] if the recurrence produces a
-    non-finite or non-increasing value before that point, if [t1] lies
-    outside the support, or if [max_len] (default [1000]) elements do
-    not suffice. *)
+    element). Returns [Error stop] — a typed reason, see {!stop} —
+    if the recurrence produces a non-finite or non-increasing value
+    before that point, if the density underflows to zero with mass
+    still uncovered, if [t1] lies outside the support, or if [max_len]
+    (default [1000]) elements do not suffice. *)
 
 val sequence :
   Cost_model.t -> Distributions.Dist.t -> t1:float -> Sequence.t
 (** [sequence m d ~t1] is the infinite (or, for bounded support,
     [b]-terminated) sanitized reservation sequence driven by the
     recurrence: beyond the point where the raw recurrence stops
-    increasing — which can only happen off the optimal trajectory or
-    deep in the tail — it falls back to doubling (see
-    {!Sequence.sanitize}). *)
+    increasing or its density underflows — which can only happen off
+    the optimal trajectory or deep in the tail — it falls back to
+    doubling (see {!Sequence.sanitize}). *)

@@ -17,15 +17,29 @@ let ecdf samples =
     float_of_int !lo /. float_of_int n
 
 let make ?name samples =
-  Array.iter
-    (fun x ->
+  Array.iteri
+    (fun i x ->
       if (not (Float.is_finite x)) || x < 0.0 then
-        invalid_arg "Empirical.make: samples must be finite and nonnegative")
+        invalid_arg
+          (Printf.sprintf
+             "Empirical.make: sample %d (%g) must be finite and nonnegative" i
+             x))
     samples;
   let xs = sorted_copy samples in
   let n = Array.length xs in
-  if n < 2 || xs.(0) = xs.(n - 1) then
-    invalid_arg "Empirical.make: need at least two distinct values";
+  if n = 0 then invalid_arg "Empirical.make: empty sample";
+  if n = 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Empirical.make: a single sample (%g) is a point mass; need at \
+          least two distinct values to interpolate"
+         xs.(0));
+  if xs.(0) = xs.(n - 1) then
+    invalid_arg
+      (Printf.sprintf
+         "Empirical.make: all %d samples are tied at %g (a point mass); \
+          need at least two distinct values to interpolate"
+         n xs.(0));
   let name =
     match name with Some s -> s | None -> Printf.sprintf "Empirical(n=%d)" n
   in
@@ -69,7 +83,24 @@ let make ?name samples =
       done;
       let i = min (n - 2) (max 0 (!l - 1)) in
       let width = xs.(i + 1) -. xs.(i) in
-      if width > 0.0 then 1.0 /. (nf1 *. width) else infinity
+      if width > 0.0 then 1.0 /. (nf1 *. width)
+      else begin
+        (* Tied samples: [t] sits on a zero-width segment (a CDF jump).
+           Return the density of the nearest non-degenerate segment —
+           an a.e.-equivalent choice that keeps the value finite so a
+           tie cannot poison the Eq. (11) recurrence with [inf]. *)
+        let j = ref (i + 1) and k = ref (i - 1) and found = ref (-1) in
+        while !found < 0 && (!j <= n - 2 || !k >= 0) do
+          if !j <= n - 2 && xs.(!j + 1) > xs.(!j) then found := !j
+          else if !k >= 0 && xs.(!k + 1) > xs.(!k) then found := !k
+          else begin
+            incr j;
+            decr k
+          end
+        done;
+        (* At least one segment is non-degenerate (xs.(0) < xs.(n-1)). *)
+        1.0 /. (nf1 *. (xs.(!found + 1) -. xs.(!found)))
+      end
     end
   in
   (* Exact moments of the piecewise-linear CDF: each segment is a

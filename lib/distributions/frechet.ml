@@ -2,8 +2,8 @@ module Sf = Numerics.Specfun
 
 let make ~shape ~scale =
   if scale <= 0.0 then invalid_arg "Frechet.make: scale must be positive";
-  if shape <= 2.0 then
-    invalid_arg "Frechet.make: shape must exceed 2 (finite variance)";
+  if shape <= 1.0 then
+    invalid_arg "Frechet.make: shape must exceed 1 (finite mean)";
   let cdf t =
     if t <= 0.0 then 0.0 else exp (-.((t /. scale) ** -.shape))
   in
@@ -31,7 +31,13 @@ let make ~shape ~scale =
   let g1 = Sf.gamma (1.0 -. (1.0 /. shape)) in
   let mean = scale *. g1 in
   let variance =
-    scale *. scale *. (Sf.gamma (1.0 -. (2.0 /. shape)) -. (g1 *. g1))
+    (* Infinite for shape <= 2: the reflection-formula value of
+       [gamma (1 - 2/shape)] at a nonpositive argument is meaningless
+       here, so report the divergence explicitly. Downstream solvers
+       treat an infinite variance as "Theorem 2 bounds unavailable"
+       and fall back to discretization-based tiers. *)
+    if shape <= 2.0 then infinity
+    else scale *. scale *. (Sf.gamma (1.0 -. (2.0 /. shape)) -. (g1 *. g1))
   in
   (* Substituting u = (x/scale)^-shape turns the partial expectation
      into a lower incomplete gamma:
@@ -61,3 +67,7 @@ let make ~shape ~scale =
   }
 
 let default = make ~shape:3.0 ~scale:1.5
+
+(* Finite mean but infinite variance: exercises the solver fallback
+   path where the Theorem 2 search bounds are unavailable. *)
+let heavy_tail = make ~shape:1.5 ~scale:1.5

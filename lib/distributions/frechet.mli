@@ -8,9 +8,18 @@
     (1 - exp (-u))] with [u = (tau/scale)^-shape]. *)
 
 val make : shape:float -> scale:float -> Dist.t
-(** [make ~shape ~scale] requires [shape > 2] so mean and variance are
-    finite.
-    @raise Invalid_argument otherwise. *)
+(** [make ~shape ~scale] requires [shape > 1] so the mean is finite.
+    For [1 < shape <= 2] the variance is reported as [infinity]
+    (the second moment diverges), so solvers that need the Theorem 2
+    bounds must fall back to discretization-based tiers.
+    @raise Invalid_argument if [shape <= 1] or [scale <= 0]. *)
 
 val default : Dist.t
 (** [Frechet(3.0, 1.5)]. *)
+
+val heavy_tail : Dist.t
+(** [Frechet(1.5, 1.5)]: finite mean, infinite variance. Deliberately
+    not in {!Registry.all} (the registry promises raw-solver
+    compatibility, and the Theorem 2 bounds need a second moment);
+    the CLI exposes it as ["frechetheavy"] to exercise the robust
+    solver's fallback cascade. *)

@@ -1,11 +1,31 @@
 let make components =
   if components = [] then invalid_arg "Mixture.make: empty component list";
-  List.iter
-    (fun (w, _) ->
-      if (not (Float.is_finite w)) || w <= 0.0 then
-        invalid_arg "Mixture.make: weights must be positive and finite")
+  List.iteri
+    (fun i (w, d) ->
+      if Float.is_nan w then
+        invalid_arg
+          (Printf.sprintf "Mixture.make: weight %d (component %s) is NaN" i
+             d.Dist.name);
+      if w < 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Mixture.make: weight %d (component %s) is negative (%g)" i
+             d.Dist.name w);
+      if not (Float.is_finite w) then
+        invalid_arg
+          (Printf.sprintf
+             "Mixture.make: weight %d (component %s) is not finite" i
+             d.Dist.name))
     components;
+  (* Exactly-zero weights are dropped (a vanishing-but-positive weight
+     is kept: the mixture must degrade gracefully, not reject). *)
+  let components = List.filter (fun (w, _) -> w > 0.0) components in
+  if components = [] then
+    invalid_arg "Mixture.make: weights sum to zero (every component dropped)";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+  if not (Float.is_finite total) || total <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Mixture.make: weight vector sums to %g" total);
   let components = List.map (fun (w, d) -> (w /. total, d)) components in
   let support =
     let lowers = List.map (fun (_, d) -> Dist.lower d) components in

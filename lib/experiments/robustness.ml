@@ -8,12 +8,14 @@ type point = {
   mean_normalized : float;
   worst_normalized : float;
   regret : float;
+  skipped : int;
 }
 
 type t = {
   dist_name : string;
   oracle_normalized : float;
   points : point list;
+  skip_reasons : string list;
 }
 
 let default_sample_sizes = [| 10; 30; 100; 1000; 5000 |]
@@ -26,6 +28,15 @@ let run ?(cfg = Config.paper) ?(sample_sizes = default_sample_sizes)
   let m = min cfg.Config.m 1000 in
   let oracle = B.search ~m ~evaluator:B.Exact cost truth in
   let oracle_normalized = oracle.B.normalized in
+  let budget =
+    {
+      Robust.Solver.default_budget with
+      Robust.Solver.bf_candidates = m;
+      mc_samples = cfg.Config.n_mc;
+      dp_points = cfg.Config.disc_n;
+    }
+  in
+  let skip_reasons = ref [] in
   let points =
     Array.to_list sample_sizes
     |> List.map (fun k ->
@@ -45,27 +56,51 @@ let run ?(cfg = Config.paper) ?(sample_sizes = default_sample_sizes)
                          ~support:truth.Dist.support
                          (List.to_seq [ 2.0 *. mx ])
                      in
-                     E.normalized cost truth ~cost:(E.exact cost truth seq)
-                 | fit ->
+                     Some
+                       (E.normalized cost truth
+                          ~cost:(E.exact cost truth seq))
+                 | fit -> (
                      let fitted = Distributions.Fitting.to_dist fit in
-                     let r = B.search ~m ~evaluator:B.Exact cost fitted in
-                     (* Replay the fitted-model sequence against the
-                        true distribution. *)
-                     E.normalized cost truth
-                       ~cost:(E.exact cost truth r.B.sequence))
+                     (* The fitted law goes through the validated,
+                        budgeted cascade: a pathological fit becomes a
+                        typed skip, not a crash or a poisoned mean. *)
+                     match Robust.Solver.solve ~budget ~exact:true cost fitted with
+                     | Ok sol ->
+                         (* Replay the fitted-model sequence against
+                            the true distribution. *)
+                         Some
+                           (E.normalized cost truth
+                              ~cost:
+                                (E.exact cost truth
+                                   sol.Robust.Solver.sequence))
+                     | Error e ->
+                         skip_reasons :=
+                           Printf.sprintf "k=%d replica %d (%s): %s" k r
+                             fitted.Dist.name
+                             (Robust.Solver.error_to_string e)
+                           :: !skip_reasons;
+                         None))
            in
+           let kept = List.filter_map Fun.id values in
+           let skipped = replicas - List.length kept in
            let mean_normalized =
-             Numerics.Stats.mean (Array.of_list values)
+             if kept = [] then nan else Numerics.Stats.mean (Array.of_list kept)
            in
-           let worst_normalized = List.fold_left Float.max neg_infinity values in
+           let worst_normalized = List.fold_left Float.max neg_infinity kept in
            {
              samples = k;
              mean_normalized;
              worst_normalized;
              regret = mean_normalized -. oracle_normalized;
+             skipped;
            })
   in
-  { dist_name = truth.Dist.name; oracle_normalized; points }
+  {
+    dist_name = truth.Dist.name;
+    oracle_normalized;
+    points;
+    skip_reasons = List.rev !skip_reasons;
+  }
 
 let to_string t =
   let buf = Buffer.create 512 in
@@ -73,13 +108,19 @@ let to_string t =
     (Printf.sprintf "true law: %s; oracle normalized cost %.4f\n" t.dist_name
        t.oracle_normalized);
   Buffer.add_string buf
-    "trace size   mean normalized   worst replica   regret vs oracle\n";
+    "trace size   mean normalized   worst replica   regret vs oracle   skipped\n";
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "%10d %17.4f %15.4f %18.4f\n" p.samples
-           p.mean_normalized p.worst_normalized p.regret))
+        (Printf.sprintf "%10d %17.4f %15.4f %18.4f %9d\n" p.samples
+           p.mean_normalized p.worst_normalized p.regret p.skipped))
     t.points;
+  if t.skip_reasons <> [] then begin
+    Buffer.add_string buf "skipped replicas (typed solver errors):\n";
+    List.iter
+      (fun r -> Buffer.add_string buf (Printf.sprintf "  %s\n" r))
+      t.skip_reasons
+  end;
   Buffer.contents buf
 
 let sanity t =
@@ -91,5 +132,7 @@ let sanity t =
         ( "5000-run traces (the paper's size) give near-oracle strategies",
           last.regret < 0.02 );
         ("oracle is never beaten on average", first.regret > -0.02);
+        ( "well-sized traces never need a skip",
+          last.skipped = 0 );
       ]
   | _ -> []

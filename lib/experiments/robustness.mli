@@ -13,18 +13,24 @@
 type point = {
   samples : int;  (** Trace size the model was fitted from. *)
   mean_normalized : float;
-      (** Mean (over replicas) true normalized cost of the
+      (** Mean (over kept replicas) true normalized cost of the
           fitted-model sequence. *)
-  worst_normalized : float;  (** Worst replica. *)
+  worst_normalized : float;  (** Worst kept replica. *)
   regret : float;
       (** [mean_normalized - oracle_normalized], where the oracle
           knows the true distribution. *)
+  skipped : int;
+      (** Replicas whose fitted law the robust solver rejected with a
+          typed error (skip-and-report, never a crash). *)
 }
 
 type t = {
   dist_name : string;
   oracle_normalized : float;  (** BRUTE-FORCE with the true law. *)
   points : point list;
+  skip_reasons : string list;
+      (** One line per skipped replica: which fit failed and the typed
+          {!Robust.Solver.error} it produced. *)
 }
 
 val default_sample_sizes : int array
@@ -37,7 +43,10 @@ val run :
   unit ->
   t
 (** [run ()] uses the NEUROHPC LogNormal as the true law with
-    [replicas] (default [20]) independent fits per sample size. *)
+    [replicas] (default [20]) independent fits per sample size. Each
+    fitted law is solved through {!Robust.Solver.solve} with
+    [~exact:true]: replicas whose fit the solver rejects are skipped
+    and reported in {!t.skip_reasons} instead of crashing the sweep. *)
 
 val to_string : t -> string
 

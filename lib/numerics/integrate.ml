@@ -13,8 +13,14 @@ let simpson ?(tol = default_tol) ?(max_depth = 48) f a b =
     let left = simpson_panel fa flm fm (m -. a) in
     let right = simpson_panel fm frm fb (b -. m) in
     let delta = left +. right -. whole in
-    if depth <= 0 || Float.abs delta <= 15.0 *. tol then
-      left +. right +. (delta /. 15.0)
+    (* A non-finite integrand poisons delta; subdividing would explore
+       the full 2^depth tree without ever converging, so propagate the
+       poisoned panel to the caller instead. *)
+    if
+      depth <= 0
+      || Float.abs delta <= 15.0 *. tol
+      || not (Float.is_finite delta)
+    then left +. right +. (delta /. 15.0)
     else
       go a fa m fm lm flm left (tol /. 2.0) (depth - 1)
       +. go m fm b fb rm frm right (tol /. 2.0) (depth - 1)
@@ -94,7 +100,7 @@ let gauss_kronrod ?(tol = default_tol) ?(max_depth = 48) ?(initial = 1) f a b =
     (* A nan integrand poisons the error estimate; subdividing would
        explore the full 2^depth tree without ever converging, so
        propagate the nan to the caller instead. *)
-    if Float.is_nan integral then nan
+    if not (Float.is_finite integral) then integral
     else if
       depth <= 0 || err <= tol
       (* Roundoff floor: once the estimate is within a few ulps of the

@@ -1,0 +1,480 @@
+module Dist = Distributions.Dist
+module Core_seq = Stochastic_core.Sequence
+
+type tier = Brute_force | Dp_equal_probability | Mean_doubling
+
+let tier_name = function
+  | Brute_force -> "recurrence-brute-force"
+  | Dp_equal_probability -> "equal-probability-dp"
+  | Mean_doubling -> "mean-doubling"
+
+let all_tiers = [ Brute_force; Dp_equal_probability; Mean_doubling ]
+
+type budget = {
+  bf_candidates : int;
+  mc_samples : int;
+  dp_points : int;
+  max_evaluations : int;
+  max_seconds : float;
+}
+
+let default_budget =
+  {
+    bf_candidates = 5000;
+    mc_samples = 1000;
+    dp_points = 1000;
+    max_evaluations = 2_000_000;
+    max_seconds = 60.0;
+  }
+
+let quick_budget =
+  {
+    bf_candidates = 300;
+    mc_samples = 200;
+    dp_points = 200;
+    max_evaluations = 200_000;
+    max_seconds = 5.0;
+  }
+
+type error =
+  | Invalid_distribution of Dist_check.report
+  | Invalid_parameter of { name : string; detail : string }
+  | Non_convergent of { stage : string; detail : string }
+  | Budget_exhausted of { stage : string; evaluations : int; elapsed : float }
+
+let error_to_string = function
+  | Invalid_distribution r ->
+      Printf.sprintf "invalid distribution: %s" (Dist_check.summary r)
+  | Invalid_parameter { name; detail } ->
+      Printf.sprintf "invalid parameter %s: %s" name detail
+  | Non_convergent { stage; detail } ->
+      Printf.sprintf "non-convergent in %s: %s" stage detail
+  | Budget_exhausted { stage; evaluations; elapsed } ->
+      Printf.sprintf
+        "budget exhausted in %s after %d evaluations (%.2fs elapsed)" stage
+        evaluations elapsed
+
+let pp_error fmt = function
+  | Invalid_distribution r ->
+      Format.fprintf fmt "invalid distribution:@.%a" Dist_check.pp r
+  | e -> Format.fprintf fmt "%s" (error_to_string e)
+
+let exit_code = function
+  | Invalid_distribution _ -> 4
+  | Non_convergent _ -> 5
+  | Budget_exhausted _ -> 6
+  | Invalid_parameter _ -> 7
+
+type rejection = { tier : tier; reason : error }
+
+type diagnostics = {
+  chosen : tier;
+  rejected : rejection list;
+  validation : Dist_check.report option;
+  evaluations : int;
+  elapsed : float;
+}
+
+type solution = {
+  sequence : Core_seq.t;
+  head : float array;
+  cost : float;
+  normalized : float;
+  diagnostics : diagnostics;
+}
+
+let degraded s = s.diagnostics.rejected <> []
+
+(* ------------------------------------------------------------------ *)
+
+(* Internal control flow: a tier aborts with [Tier_fail]; the cascade
+   catches it, records the rejection and moves on. *)
+exception Tier_fail of error
+
+type state = {
+  budget : budget;
+  started : float;
+  mutable evaluations : int;
+}
+
+let elapsed st = Sys.time () -. st.started
+
+(* Each tier owns a slice of the wall clock so that a runaway early
+   tier cannot starve its fallbacks: brute force may use the first
+   70%, the DP until 90%, mean-doubling and final vetting the rest. *)
+let deadline_frac = function
+  | Brute_force -> 0.70
+  | Dp_equal_probability -> 0.90
+  | Mean_doubling -> 1.0
+
+let over_deadline st tier =
+  elapsed st > deadline_frac tier *. st.budget.max_seconds
+
+let spend st ~stage n =
+  st.evaluations <- st.evaluations + n;
+  if st.evaluations > st.budget.max_evaluations then
+    raise
+      (Tier_fail
+         (Budget_exhausted
+            { stage; evaluations = st.evaluations; elapsed = elapsed st }))
+
+let fail_non_convergent stage detail =
+  raise (Tier_fail (Non_convergent { stage; detail }))
+
+(* ------------------------------------------------------------------ *)
+(* Vetting: whatever a tier produced must be a provably sane
+   reservation sequence with a finite exact expected cost.            *)
+
+let coverage = 1.0 -. 1e-9
+let head_limit = 20_000
+
+let vet st ~stage cost_model d seq =
+  let b = Dist.upper d in
+  let stop t =
+    if Dist.is_bounded d then t >= b
+    else
+      let f = try d.Dist.cdf t with _ -> nan in
+      (* A NaN cdf must not make the walk run forever. *)
+      (not (Float.is_finite f)) || f >= coverage
+  in
+  let head = Core_seq.prefix_until ~limit:head_limit stop seq in
+  spend st ~stage (Array.length head);
+  if Array.length head = 0 then fail_non_convergent stage "empty sequence";
+  let prev = ref 0.0 in
+  Array.iter
+    (fun t ->
+      if not (Float.is_finite t) then
+        fail_non_convergent stage
+          (Printf.sprintf "sequence contains the non-finite value %g" t);
+      if t <= !prev then
+        fail_non_convergent stage
+          (Printf.sprintf "sequence not strictly increasing at %g" t);
+      prev := t)
+    head;
+  let last = head.(Array.length head - 1) in
+  let covered =
+    if Dist.is_bounded d then last >= b -. (1e-9 *. Float.max 1.0 b)
+    else
+      match d.Dist.cdf last with
+      | f -> Float.is_finite f && f >= coverage
+      | exception _ -> false
+  in
+  if not covered then
+    fail_non_convergent stage
+      (Printf.sprintf
+         "sequence stalled at %g without covering the %g quantile" last
+         coverage);
+  let cost =
+    match Stochastic_core.Expected_cost.exact cost_model d seq with
+    | c -> c
+    | exception Core_seq.Not_covered t ->
+        fail_non_convergent stage
+          (Printf.sprintf "exact cost evaluation not covered at t = %g" t)
+    | exception exn ->
+        fail_non_convergent stage
+          (Printf.sprintf "exact cost evaluation raised %s"
+             (Printexc.to_string exn))
+  in
+  if not (Float.is_finite cost) then
+    fail_non_convergent stage
+      (Printf.sprintf "expected cost is %g" cost);
+  let omniscient = Stochastic_core.Expected_cost.omniscient cost_model d in
+  if not (Float.is_finite omniscient && omniscient > 0.0) then
+    fail_non_convergent stage
+      (Printf.sprintf "omniscient baseline is %g" omniscient);
+  (head, cost, cost /. omniscient)
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: recurrence-driven brute force (Sect. 4.1), re-implemented
+   here rather than delegated to {!Stochastic_core.Brute_force} so the
+   scan honours the evaluation and wall-clock budgets candidate by
+   candidate and reports typed rejection statistics.                  *)
+
+let run_brute_force st ~exact ~seed cost_model d =
+  let stage = tier_name Brute_force in
+  let a, b =
+    match Stochastic_core.Bounds.search_interval cost_model d with
+    | bounds -> bounds
+    | exception Invalid_argument msg ->
+        fail_non_convergent (stage ^ "/bounds") msg
+    | exception exn ->
+        fail_non_convergent (stage ^ "/bounds") (Printexc.to_string exn)
+  in
+  if not (Float.is_finite a && Float.is_finite b && b > a) then
+    fail_non_convergent (stage ^ "/bounds")
+      (Printf.sprintf "degenerate search interval (%g, %g]" a b);
+  let eval =
+    if exact then fun seq ->
+      Stochastic_core.Expected_cost.exact cost_model d seq
+    else begin
+      let rng = Randomness.Rng.create ~seed () in
+      let samples =
+        match Dist.samples d rng st.budget.mc_samples with
+        | s -> s
+        | exception exn ->
+            fail_non_convergent (stage ^ "/sampling") (Printexc.to_string exn)
+      in
+      Array.iter
+        (fun x ->
+          if not (Float.is_finite x) then
+            fail_non_convergent (stage ^ "/sampling")
+              (Printf.sprintf "sampler produced %g" x))
+        samples;
+      Array.sort compare samples;
+      fun seq ->
+        Stochastic_core.Expected_cost.mean_cost_presampled cost_model
+          ~sorted_samples:samples seq
+    end
+  in
+  let m = st.budget.bf_candidates in
+  let step = (b -. a) /. float_of_int m in
+  let best_t1 = ref nan and best_cost = ref infinity in
+  let valid = ref 0 in
+  let underflow = ref 0
+  and non_increasing = ref 0
+  and non_finite = ref 0
+  and too_long = ref 0
+  and eval_failed = ref 0 in
+  (try
+     for i = 1 to m do
+       if over_deadline st Brute_force then begin
+         if Float.is_nan !best_t1 then
+           raise
+             (Tier_fail
+                (Budget_exhausted
+                   {
+                     stage;
+                     evaluations = st.evaluations;
+                     elapsed = elapsed st;
+                   }))
+         else raise Exit
+       end;
+       spend st ~stage 1;
+       let t1 = a +. (float_of_int i *. step) in
+       match Stochastic_core.Recurrence.generate cost_model d ~t1 with
+       | Error (Stochastic_core.Recurrence.Density_underflow _) ->
+           incr underflow
+       | Error (Stochastic_core.Recurrence.Non_increasing _) ->
+           incr non_increasing
+       | Error (Stochastic_core.Recurrence.Non_finite _) -> incr non_finite
+       | Error (Stochastic_core.Recurrence.Too_long _) -> incr too_long
+       | Error (Stochastic_core.Recurrence.Unsupported_t1 _) -> incr eval_failed
+       | Ok _ -> (
+           let seq = Stochastic_core.Recurrence.sequence cost_model d ~t1 in
+           match eval seq with
+           | c when Float.is_finite c ->
+               incr valid;
+               if c < !best_cost then begin
+                 best_cost := c;
+                 best_t1 := t1
+               end
+           | _ -> incr eval_failed
+           | exception _ -> incr eval_failed)
+     done
+   with Exit -> ());
+  if Float.is_nan !best_t1 then
+    fail_non_convergent stage
+      (Printf.sprintf
+         "0/%d candidates yielded a valid sequence (density underflow %d, \
+          non-increasing %d, non-finite %d, too long %d, evaluation failed \
+          %d)"
+         m !underflow !non_increasing !non_finite !too_long !eval_failed)
+  else Stochastic_core.Recurrence.sequence cost_model d ~t1:!best_t1
+
+(* Tier 2: Theorem 5 DP on the equal-probability discretization
+   (Sect. 4.2) — needs no density and no Theorem 2 moment bounds. *)
+let run_dp st cost_model d =
+  let stage = tier_name Dp_equal_probability in
+  if over_deadline st Dp_equal_probability then
+    raise
+      (Tier_fail
+         (Budget_exhausted
+            { stage; evaluations = st.evaluations; elapsed = elapsed st }));
+  spend st ~stage st.budget.dp_points;
+  let discrete =
+    match
+      Stochastic_core.Discretize.run ~eps:1e-7
+        Stochastic_core.Discretize.Equal_probability ~n:st.budget.dp_points d
+    with
+    | disc -> disc
+    | exception exn ->
+        fail_non_convergent (stage ^ "/discretize") (Printexc.to_string exn)
+  in
+  match Stochastic_core.Dp.sequence_for cost_model d discrete with
+  | seq -> seq
+  | exception exn -> fail_non_convergent stage (Printexc.to_string exn)
+
+(* Tier 3: MEAN-DOUBLING (Sect. 4.3) — needs only a finite positive
+   mean; its doubling tail diverges past any quantile. *)
+let run_mean_doubling st cost_model d =
+  ignore cost_model;
+  let stage = tier_name Mean_doubling in
+  if over_deadline st Mean_doubling then
+    raise
+      (Tier_fail
+         (Budget_exhausted
+            { stage; evaluations = st.evaluations; elapsed = elapsed st }));
+  if not (Float.is_finite d.Dist.mean && d.Dist.mean > 0.0) then
+    fail_non_convergent stage
+      (Printf.sprintf "mean %g is not finite and positive" d.Dist.mean);
+  Stochastic_core.Heuristics.mean_doubling d
+
+let run_tier st ~exact ~seed cost_model d = function
+  | Brute_force -> run_brute_force st ~exact ~seed cost_model d
+  | Dp_equal_probability -> run_dp st cost_model d
+  | Mean_doubling -> run_mean_doubling st cost_model d
+
+(* ------------------------------------------------------------------ *)
+
+let check_budget_params budget =
+  let pos name v =
+    if v <= 0 then
+      Some
+        (Invalid_parameter
+           { name; detail = Printf.sprintf "must be positive, got %d" v })
+    else None
+  in
+  match pos "bf_candidates" budget.bf_candidates with
+  | Some e -> Some e
+  | None -> (
+      match pos "mc_samples" budget.mc_samples with
+      | Some e -> Some e
+      | None -> (
+          match pos "dp_points" budget.dp_points with
+          | Some e -> Some e
+          | None -> (
+              match pos "max_evaluations" budget.max_evaluations with
+              | Some e -> Some e
+              | None ->
+                  if
+                    (not (Float.is_finite budget.max_seconds))
+                    || budget.max_seconds <= 0.0
+                  then
+                    Some
+                      (Invalid_parameter
+                         {
+                           name = "max_seconds";
+                           detail =
+                             Printf.sprintf
+                               "must be positive and finite, got %g"
+                               budget.max_seconds;
+                         })
+                  else None)))
+
+let solve ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
+    ?(exact = false) ?(seed = 42) cost_model d =
+  match check_budget_params budget with
+  | Some e -> Error e
+  | None ->
+      if tiers = [] then
+        Error
+          (Invalid_parameter
+             { name = "tiers"; detail = "the cascade needs at least one tier" })
+      else begin
+        let st = { budget; started = Sys.time (); evaluations = 0 } in
+        let validation =
+          if validate then Some (Dist_check.run d) else None
+        in
+        match validation with
+        | Some r when not (Dist_check.is_valid r) ->
+            Error (Invalid_distribution r)
+        | _ ->
+            let rejected = ref [] in
+            let rec cascade = function
+              | [] ->
+                  let all_budget =
+                    List.for_all
+                      (fun r ->
+                        match r.reason with
+                        | Budget_exhausted _ -> true
+                        | _ -> false)
+                      !rejected
+                  in
+                  if all_budget && !rejected <> [] then
+                    Error
+                      (Budget_exhausted
+                         {
+                           stage = "cascade";
+                           evaluations = st.evaluations;
+                           elapsed = elapsed st;
+                         })
+                  else
+                    Error
+                      (Non_convergent
+                         {
+                           stage = "cascade";
+                           detail =
+                             (List.rev !rejected
+                             |> List.map (fun r ->
+                                    Printf.sprintf "%s: %s"
+                                      (tier_name r.tier)
+                                      (error_to_string r.reason))
+                             |> String.concat "; ");
+                         })
+              | tier :: rest -> (
+                  match
+                    let seq = run_tier st ~exact ~seed cost_model d tier in
+                    let head, cost, normalized =
+                      vet st ~stage:(tier_name tier) cost_model d seq
+                    in
+                    (seq, head, cost, normalized)
+                  with
+                  | seq, head, cost, normalized ->
+                      Ok
+                        {
+                          sequence = seq;
+                          head;
+                          cost;
+                          normalized;
+                          diagnostics =
+                            {
+                              chosen = tier;
+                              rejected = List.rev !rejected;
+                              validation;
+                              evaluations = st.evaluations;
+                              elapsed = elapsed st;
+                            };
+                        }
+                  | exception Tier_fail reason ->
+                      rejected := { tier; reason } :: !rejected;
+                      cascade rest
+                  | exception exn ->
+                      (* Last-resort catch: no exception may escape. *)
+                      rejected :=
+                        {
+                          tier;
+                          reason =
+                            Non_convergent
+                              {
+                                stage = tier_name tier;
+                                detail =
+                                  Printf.sprintf "unexpected exception %s"
+                                    (Printexc.to_string exn);
+                              };
+                        }
+                        :: !rejected;
+                      cascade rest)
+            in
+            cascade tiers
+      end
+
+let pp_diagnostics fmt diag =
+  (match diag.validation with
+  | None -> Format.fprintf fmt "validation:   skipped@."
+  | Some r -> Format.fprintf fmt "validation:   %s@." (Dist_check.summary r));
+  (match diag.validation with
+  | Some r when Dist_check.warnings r <> [] ->
+      List.iter
+        (fun (i : Dist_check.issue) ->
+          Format.fprintf fmt "              [warn] %s: %s@." i.id i.detail)
+        (Dist_check.warnings r)
+  | _ -> ());
+  Format.fprintf fmt "solver tier:  %s%s@." (tier_name diag.chosen)
+    (if diag.rejected = [] then " (primary)" else " (degraded)");
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "              rejected %s: %s@." (tier_name r.tier)
+        (error_to_string r.reason))
+    diag.rejected;
+  Format.fprintf fmt "budget:       %d evaluations, %.3fs elapsed"
+    diag.evaluations diag.elapsed

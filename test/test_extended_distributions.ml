@@ -126,8 +126,15 @@ let test_frechet_oracle () =
     d.Dist.mean ~tol:1e-12;
   rel_close "Frechet cdf(quantile)" 0.37 (d.Dist.cdf (d.Dist.quantile 0.37))
     ~tol:1e-10;
-  Alcotest.(check bool) "shape <= 2 rejected" true
-    (try ignore (Distributions.Frechet.make ~shape:1.5 ~scale:1.0); false
+  (* 1 < shape <= 2: heavy tail with finite mean but divergent second
+     moment — representable, flagged through an infinite variance. *)
+  let heavy = Distributions.Frechet.make ~shape:1.5 ~scale:1.0 in
+  rel_close "heavy-tail mean" (Numerics.Specfun.gamma (1.0 /. 3.0))
+    heavy.Dist.mean ~tol:1e-12;
+  Alcotest.(check bool) "heavy-tail variance is infinite" true
+    (heavy.Dist.variance = infinity);
+  Alcotest.(check bool) "shape <= 1 rejected" true
+    (try ignore (Distributions.Frechet.make ~shape:1.0 ~scale:1.0); false
      with Invalid_argument _ -> true)
 
 let test_triangular_oracle () =

@@ -1,0 +1,74 @@
+(* Regression tests for quantile <-> cdf round-trips at extreme
+   parameters: huge LogNormal sigmas, BoundedPareto alpha -> 0 (mass
+   pushed to both endpoints), sub-exponential Weibull shapes. These
+   are exactly the regimes where a naive closed form loses digits and
+   quietly poisons the Eq. (11) recurrence and the Theorem 5 DP. *)
+
+module Dist = Distributions.Dist
+
+let ps =
+  [
+    1e-9; 1e-6; 1e-4; 1e-2; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 -. 1e-4;
+    1.0 -. 1e-6; 1.0 -. 1e-9;
+  ]
+
+let extreme_cases =
+  [
+    ("LogNormal sigma=5", Distributions.Lognormal.make ~mu:0.0 ~sigma:5.0);
+    ("LogNormal sigma=8", Distributions.Lognormal.make ~mu:2.0 ~sigma:8.0);
+    ( "BoundedPareto alpha=1e-3",
+      Distributions.Bounded_pareto.make ~l:1.0 ~h:20.0 ~alpha:1e-3 );
+    ( "BoundedPareto alpha=0.01 wide",
+      Distributions.Bounded_pareto.make ~l:1.0 ~h:1e6 ~alpha:0.01 );
+    ("Weibull kappa=0.3", Distributions.Weibull.make ~lambda:1.0 ~kappa:0.3);
+    ("Weibull kappa=0.1", Distributions.Weibull.make ~lambda:2.0 ~kappa:0.1);
+  ]
+
+let test_roundtrip (label, d) () =
+  List.iter
+    (fun p ->
+      let q = d.Dist.quantile p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: Q(%g) = %g finite" label p q)
+        true (Float.is_finite q);
+      let f = d.Dist.cdf q in
+      if Float.abs (f -. p) > 1e-6 then
+        Alcotest.failf "%s: |F(Q(%g)) - %g| = %.3e exceeds 1e-6 (Q = %g)"
+          label p p (Float.abs (f -. p)) q)
+    ps
+
+let test_monotone (label, d) () =
+  let prev = ref neg_infinity in
+  List.iter
+    (fun p ->
+      let q = d.Dist.quantile p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: Q nondecreasing at p=%g" label p)
+        true (q >= !prev);
+      prev := q)
+    ps
+
+let test_self_check (label, d) () =
+  let r = Robust.Dist_check.run d in
+  match Robust.Dist_check.fatal r with
+  | [] -> ()
+  | issues ->
+      Alcotest.failf "%s: self-check found fatal issues: %s" label
+        (String.concat "; "
+           (List.map (fun (i : Robust.Dist_check.issue) -> i.id) issues))
+
+let () =
+  let mk f tag =
+    List.map
+      (fun case ->
+        Alcotest.test_case
+          (Printf.sprintf "%s %s" (fst case) tag)
+          `Quick (f case))
+      extreme_cases
+  in
+  Alcotest.run "extreme_params"
+    [
+      ("roundtrip", mk test_roundtrip "roundtrip");
+      ("monotone", mk test_monotone "monotone");
+      ("self-check", mk test_self_check "self-check");
+    ]

@@ -45,6 +45,35 @@ let test_gauss_kronrod_spike () =
     (I.gauss_kronrod ~initial:32 spike 0.0 1.8)
     ~tol:1e-6
 
+let test_poisoned_integrands_terminate () =
+  (* A non-finite integrand must come straight back instead of driving
+     the adaptive bisection to the full 2^max_depth tree. *)
+  let evals = ref 0 in
+  let poisoned x =
+    incr evals;
+    if x > 0.5 then nan else 1.0
+  in
+  let r = I.gauss_kronrod ~tol:1e-12 ~max_depth:48 poisoned 0.0 1.0 in
+  Alcotest.(check bool) "gauss_kronrod propagates nan" true (Float.is_nan r);
+  Alcotest.(check bool)
+    (Printf.sprintf "gauss_kronrod stays cheap (%d evals)" !evals)
+    true (!evals < 1000);
+  evals := 0;
+  let r = I.simpson ~tol:1e-12 ~max_depth:48 poisoned 0.0 1.0 in
+  Alcotest.(check bool) "simpson propagates nan" true (Float.is_nan r);
+  Alcotest.(check bool)
+    (Printf.sprintf "simpson stays cheap (%d evals)" !evals)
+    true (!evals < 1000);
+  evals := 0;
+  let spike x =
+    incr evals;
+    if x = 0.5 then infinity else 1.0
+  in
+  ignore (I.gauss_kronrod ~tol:1e-12 ~max_depth:48 ~initial:2 spike 0.0 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "infinite point value stays cheap (%d evals)" !evals)
+    true (!evals < 10_000)
+
 let test_to_infinity () =
   rel_close "int e^-x [0,inf)" 1.0 (I.to_infinity (fun x -> exp (-.x)) 0.0);
   rel_close "int x e^-x [0,inf)" 1.0
@@ -110,6 +139,8 @@ let () =
           Alcotest.test_case "qk15" `Quick test_qk15;
           Alcotest.test_case "adaptive" `Quick test_gauss_kronrod;
           Alcotest.test_case "spike" `Quick test_gauss_kronrod_spike;
+          Alcotest.test_case "poisoned integrands terminate" `Quick
+            test_poisoned_integrands_terminate;
         ] );
       ( "infinite",
         [ Alcotest.test_case "to_infinity" `Quick test_to_infinity ] );

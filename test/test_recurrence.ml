@@ -36,7 +36,8 @@ let test_general_model_term () =
 let test_generate_valid () =
   let d = Distributions.Exponential.default in
   match R.generate C.reservation_only d ~t1:0.75 with
-  | Error e -> Alcotest.failf "expected valid sequence, got: %s" e
+  | Error e ->
+      Alcotest.failf "expected valid sequence, got: %s" (R.stop_to_string e)
   | Ok ts ->
       Alcotest.(check bool) "covers the 1 - 1e-9 quantile" true
         (ts.(Array.length ts - 1) >= -.log 1e-9 -. 1.0);
@@ -66,12 +67,46 @@ let test_generate_bounded_support () =
   let d = Distributions.Uniform_dist.default in
   (match R.generate C.reservation_only d ~t1:20.0 with
   | Ok ts -> Alcotest.(check (array (float 1e-9))) "single (b)" [| 20.0 |] ts
-  | Error e -> Alcotest.failf "t1 = b should be valid: %s" e);
+  | Error e ->
+      Alcotest.failf "t1 = b should be valid: %s" (R.stop_to_string e));
   match R.generate C.reservation_only d ~t1:15.0 with
   | Error _ -> ()
   | Ok ts ->
       Alcotest.failf "t1 = 15 should collapse, got length %d"
         (Array.length ts)
+
+let test_density_underflow_typed_stop () =
+  (* A law whose density underflows to exactly 0 past t = 5 while
+     ~ e^-5 of the mass is still uncovered: Eq. (11) divides by
+     f t_(i-1), so generate must stop with the typed Density_underflow
+     instead of propagating inf/nan. *)
+  let exp1 = Distributions.Exponential.default in
+  let d =
+    {
+      exp1 with
+      Dist.name = "Exp(1), tail density underflowed";
+      pdf = (fun t -> if t > 5.0 then 0.0 else exp1.Dist.pdf t);
+    }
+  in
+  (match R.generate C.reservation_only d ~t1:0.75 with
+  | Error (R.Density_underflow { t; survival }) ->
+      Alcotest.(check bool) "stop is past the underflow point" true (t > 5.0);
+      Alcotest.(check bool) "uncovered survival mass reported" true
+        (survival > 0.0 && survival < 0.01)
+  | Error e ->
+      Alcotest.failf "expected Density_underflow, got: %s" (R.stop_to_string e)
+  | Ok _ -> Alcotest.fail "underflowing density must not generate Ok");
+  (* The sanitized infinite sequence must survive the same law by
+     switching to doubling — strictly increasing, no inf/nan. *)
+  let s = R.sequence C.reservation_only d ~t1:0.75 in
+  let prefix = S.take 25 s in
+  List.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        Alcotest.fail "sanitized sequence emitted a non-finite value")
+    prefix;
+  Alcotest.(check bool) "sanitized sequence still increases" true
+    (S.is_strictly_increasing 25 s)
 
 let test_sequence_sanitized () =
   let d = Distributions.Exponential.default in
@@ -90,7 +125,8 @@ let test_sequence_matches_generate_prefix () =
   let m = C.reservation_only in
   let t1 = 30.0 in
   match R.generate m d ~t1 with
-  | Error e -> Alcotest.failf "lognormal t1=30 should be valid: %s" e
+  | Error e ->
+      Alcotest.failf "lognormal t1=30 should be valid: %s" (R.stop_to_string e)
   | Ok ts ->
       let s = S.take (Array.length ts) (R.sequence m d ~t1) in
       List.iteri
@@ -134,6 +170,8 @@ let () =
           Alcotest.test_case "generate valid" `Quick test_generate_valid;
           Alcotest.test_case "generate invalid t1" `Quick test_generate_invalid_t1;
           Alcotest.test_case "bounded support" `Quick test_generate_bounded_support;
+          Alcotest.test_case "density underflow typed stop" `Quick
+            test_density_underflow_typed_stop;
           Alcotest.test_case "sequence sanitized" `Quick test_sequence_sanitized;
           Alcotest.test_case "sequence matches generate" `Quick
             test_sequence_matches_generate_prefix;

@@ -1,0 +1,193 @@
+(* Deterministic unit tests for the robustness subsystem: the
+   Dist_check report contents, the typed failure taxonomy, the
+   cascade's degradation bookkeeping, and the validation messages of
+   the mixture/empirical constructors. *)
+
+module Dist = Distributions.Dist
+module Check = Robust.Dist_check
+module Solver = Robust.Solver
+
+let cost = Stochastic_core.Cost_model.reservation_only
+
+let quick = Solver.quick_budget
+
+(* ------------------------------ checks ---------------------------- *)
+
+let test_check_accepts_table1 () =
+  List.iter
+    (fun (name, d) ->
+      let r = Check.run d in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s valid" name)
+        true (Check.is_valid r);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s probed" name)
+        true (r.Check.probes > 0))
+    Distributions.Table1.all
+
+let broken_cdf =
+  let d = Distributions.Exponential.default in
+  {
+    d with
+    Dist.name = "BrokenCdf";
+    cdf = (fun t -> if t > 2.0 then nan else d.Dist.cdf t);
+  }
+
+let test_check_rejects_nan_cdf () =
+  let r = Check.run broken_cdf in
+  Alcotest.(check bool) "invalid" false (Check.is_valid r);
+  Alcotest.(check bool) "names a cdf issue" true
+    (List.exists
+       (fun (i : Check.issue) ->
+         String.length i.id >= 3 && String.sub i.id 0 3 = "cdf")
+       (Check.fatal r))
+
+let test_check_rejects_negative_pdf () =
+  let d = Distributions.Exponential.default in
+  let bad =
+    { d with Dist.name = "NegPdf"; pdf = (fun t -> -.d.Dist.pdf t) }
+  in
+  let r = Check.run bad in
+  Alcotest.(check bool) "invalid" false (Check.is_valid r)
+
+(* ------------------------------ solver ---------------------------- *)
+
+let test_primary_tier_on_exponential () =
+  match Solver.solve ~budget:quick cost Distributions.Exponential.default with
+  | Error e -> Alcotest.failf "solve failed: %s" (Solver.error_to_string e)
+  | Ok sol ->
+      Alcotest.(check bool) "brute force answered" true
+        (sol.Solver.diagnostics.Solver.chosen = Solver.Brute_force);
+      Alcotest.(check bool) "not degraded" false (Solver.degraded sol);
+      Alcotest.(check bool) "validated" true
+        (sol.Solver.diagnostics.Solver.validation <> None);
+      Alcotest.(check bool) "normalized sane" true
+        (sol.Solver.normalized >= 1.0 -. 1e-6
+        && sol.Solver.normalized < 4.0)
+
+let test_cascade_degrades_on_infinite_variance () =
+  match Solver.solve ~budget:quick cost Distributions.Frechet.heavy_tail with
+  | Error e -> Alcotest.failf "solve failed: %s" (Solver.error_to_string e)
+  | Ok sol ->
+      Alcotest.(check bool) "degraded" true (Solver.degraded sol);
+      Alcotest.(check bool) "DP answered" true
+        (sol.Solver.diagnostics.Solver.chosen = Solver.Dp_equal_probability);
+      Alcotest.(check bool) "brute force rejection recorded" true
+        (List.exists
+           (fun r -> r.Solver.tier = Solver.Brute_force)
+           sol.Solver.diagnostics.Solver.rejected)
+
+let test_invalid_distribution_refused () =
+  match Solver.solve ~budget:quick cost broken_cdf with
+  | Error (Solver.Invalid_distribution r) ->
+      Alcotest.(check bool) "report carries fatals" true (Check.fatal r <> [])
+  | Error e ->
+      Alcotest.failf "expected Invalid_distribution, got %s"
+        (Solver.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Invalid_distribution, got Ok"
+
+let test_invalid_budget_refused () =
+  let bad = { quick with Solver.bf_candidates = 0 } in
+  match Solver.solve ~budget:bad cost Distributions.Exponential.default with
+  | Error (Solver.Invalid_parameter { name; _ }) ->
+      Alcotest.(check string) "names the field" "bf_candidates" name
+  | Error e ->
+      Alcotest.failf "expected Invalid_parameter, got %s"
+        (Solver.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Invalid_parameter, got Ok"
+
+let test_empty_tiers_refused () =
+  match
+    Solver.solve ~budget:quick ~tiers:[] cost
+      Distributions.Exponential.default
+  with
+  | Error (Solver.Invalid_parameter { name; _ }) ->
+      Alcotest.(check string) "names tiers" "tiers" name
+  | _ -> Alcotest.fail "expected Invalid_parameter on empty cascade"
+
+let test_exit_codes_distinct () =
+  let codes =
+    [
+      Solver.exit_code (Solver.Invalid_distribution (Check.run broken_cdf));
+      Solver.exit_code (Solver.Invalid_parameter { name = "x"; detail = "" });
+      Solver.exit_code (Solver.Non_convergent { stage = "s"; detail = "" });
+      Solver.exit_code
+        (Solver.Budget_exhausted { stage = "s"; evaluations = 0; elapsed = 0. });
+    ]
+  in
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare codes));
+  Alcotest.(check bool) "none collides with cmdliner's 0/1/2/3" true
+    (List.for_all (fun c -> c > 3) codes)
+
+(* --------------------- constructor validation --------------------- *)
+
+let contains msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let expect_invalid_arg label substring f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  | exception Invalid_argument msg ->
+      if not (contains msg substring) then
+        Alcotest.failf "%s: message %S does not mention %S" label msg substring
+
+let test_mixture_weight_validation () =
+  let d = Distributions.Exponential.default in
+  expect_invalid_arg "negative weight" "weight 1" (fun () ->
+      Distributions.Mixture.make [ (0.5, d); (-0.25, d) ]);
+  expect_invalid_arg "nan weight" "weight 0" (fun () ->
+      Distributions.Mixture.make [ (nan, d); (1.0, d) ]);
+  expect_invalid_arg "zero sum" "sum" (fun () ->
+      Distributions.Mixture.make [ (0.0, d); (0.0, d) ])
+
+let test_empirical_edge_cases () =
+  expect_invalid_arg "empty" "empty" (fun () ->
+      Distributions.Empirical.make [||]);
+  expect_invalid_arg "single point" "point mass" (fun () ->
+      Distributions.Empirical.make [| 3.0 |]);
+  expect_invalid_arg "all tied" "tied" (fun () ->
+      Distributions.Empirical.make [| 2.0; 2.0; 2.0; 2.0 |]);
+  expect_invalid_arg "nan sample" "sample 1" (fun () ->
+      Distributions.Empirical.make [| 1.0; nan; 2.0 |]);
+  (* Partial ties are legal and must yield a usable density. *)
+  let d = Distributions.Empirical.make [| 1.0; 2.0; 2.0; 2.0; 3.0 |] in
+  let r = Check.run d in
+  Alcotest.(check bool) "tied empirical passes the self-check" true
+    (Check.is_valid r)
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "dist_check",
+        [
+          Alcotest.test_case "accepts Table 1" `Quick test_check_accepts_table1;
+          Alcotest.test_case "rejects NaN cdf" `Quick test_check_rejects_nan_cdf;
+          Alcotest.test_case "rejects negative pdf" `Quick
+            test_check_rejects_negative_pdf;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "primary tier on Exp(1)" `Quick
+            test_primary_tier_on_exponential;
+          Alcotest.test_case "degrades on infinite variance" `Quick
+            test_cascade_degrades_on_infinite_variance;
+          Alcotest.test_case "refuses invalid distribution" `Quick
+            test_invalid_distribution_refused;
+          Alcotest.test_case "refuses invalid budget" `Quick
+            test_invalid_budget_refused;
+          Alcotest.test_case "refuses empty cascade" `Quick
+            test_empty_tiers_refused;
+          Alcotest.test_case "exit codes distinct" `Quick
+            test_exit_codes_distinct;
+        ] );
+      ( "constructors",
+        [
+          Alcotest.test_case "mixture weights" `Quick
+            test_mixture_weight_validation;
+          Alcotest.test_case "empirical edge cases" `Quick
+            test_empirical_edge_cases;
+        ] );
+    ]
