@@ -554,15 +554,21 @@ let solve_cmd =
         Format.printf "expected cost: %.6f (normalized %.4f)@."
           sol.Robust.Solver.cost sol.Robust.Solver.normalized;
         if strict && Robust.Solver.degraded sol then begin
-          let r =
-            List.hd sol.Robust.Solver.diagnostics.Robust.Solver.rejected
-          in
-          Format.eprintf
-            "strict mode: degraded to %s because %s was rejected (%s)@."
-            (Robust.Solver.tier_name
-               sol.Robust.Solver.diagnostics.Robust.Solver.chosen)
-            (Robust.Solver.tier_name r.Robust.Solver.tier)
-            (Robust.Solver.error_to_string r.Robust.Solver.reason);
+          (match sol.Robust.Solver.diagnostics.Robust.Solver.rejected with
+          | r :: _ ->
+              Format.eprintf
+                "strict mode: degraded to %s because %s was rejected (%s)@."
+                (Robust.Solver.tier_name
+                   sol.Robust.Solver.diagnostics.Robust.Solver.chosen)
+                (Robust.Solver.tier_name r.Robust.Solver.tier)
+                (Robust.Solver.error_to_string r.Robust.Solver.reason)
+          | [] ->
+              (* Degraded yet nothing recorded as rejected: still a
+                 strict-mode failure, just without a named culprit. *)
+              Format.eprintf
+                "strict mode: degraded to %s (no rejection diagnostics)@."
+                (Robust.Solver.tier_name
+                   sol.Robust.Solver.diagnostics.Robust.Solver.chosen));
           exit 3
         end
   in

@@ -6,9 +6,13 @@ let make ~alpha ~beta =
   let log_b = Sf.log_beta alpha beta in
   let pdf t =
     if t < 0.0 || t > 1.0 then 0.0
+    (* stochlint: allow FLOAT_EQ — pdf endpoint special case: t = 0 handled exactly *)
     else if t = 0.0 then
+      (* stochlint: allow FLOAT_EQ — alpha = 1 selects the closed-form endpoint density *)
       (if alpha < 1.0 then infinity else if alpha = 1.0 then exp (-.log_b) else 0.0)
+    (* stochlint: allow FLOAT_EQ — pdf endpoint special case: t = 1 handled exactly *)
     else if t = 1.0 then
+      (* stochlint: allow FLOAT_EQ — beta = 1 selects the closed-form endpoint density *)
       (if beta < 1.0 then infinity else if beta = 1.0 then exp (-.log_b) else 0.0)
     else
       exp (((alpha -. 1.0) *. log t) +. ((beta -. 1.0) *. log (1.0 -. t)) -. log_b)

@@ -1,6 +1,7 @@
 let make ~l ~h ~alpha =
   if l <= 0.0 || l >= h then invalid_arg "Bounded_pareto.make: need 0 < l < h";
   if alpha <= 0.0 then invalid_arg "Bounded_pareto.make: alpha must be positive";
+  (* stochlint: allow FLOAT_EQ — alpha = 1 is the exact pole of the mean formula and is rejected *)
   if alpha = 1.0 then
     invalid_arg "Bounded_pareto.make: alpha = 1 is not supported (mean formula)";
   let ratio_a = (l /. h) ** alpha in
@@ -26,6 +27,7 @@ let make ~l ~h ~alpha =
     /. ((h ** alpha) -. (l ** alpha))
   in
   let variance =
+    (* stochlint: allow FLOAT_EQ — alpha = 2 is the exact removable singularity of the variance formula *)
     if alpha = 2.0 then begin
       (* The generic second-moment formula has a removable singularity
          at alpha = 2; use the direct integral E[X^2] =

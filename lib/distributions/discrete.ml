@@ -88,7 +88,7 @@ let of_samples xs =
   let tbl = Hashtbl.create 64 in
   Array.iter
     (fun x ->
-      let c = try Hashtbl.find tbl x with Not_found -> 0 in
+      let c = Option.value ~default:0 (Hashtbl.find_opt tbl x) in
       Hashtbl.replace tbl x (c + 1))
     xs;
   let pairs =

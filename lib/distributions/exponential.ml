@@ -5,6 +5,7 @@ let make ~rate =
   let quantile x =
     if x < 0.0 || x > 1.0 then
       invalid_arg "Exponential.quantile: x must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 1 maps to +inf *)
     if x = 1.0 then infinity else -.log (1.0 -. x) /. rate
   in
   (* Memorylessness: E[X | X > tau] = tau + 1/lambda. *)

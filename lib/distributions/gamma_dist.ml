@@ -6,7 +6,9 @@ let make ~shape ~rate =
   let log_norm = (shape *. log rate) -. Sf.log_gamma shape in
   let pdf t =
     if t < 0.0 then 0.0
+    (* stochlint: allow FLOAT_EQ — pdf endpoint special case: t = 0 handled exactly *)
     else if t = 0.0 then
+      (* stochlint: allow FLOAT_EQ — shape = 1 selects the closed-form endpoint density *)
       (if shape < 1.0 then infinity else if shape = 1.0 then rate else 0.0)
     else exp (log_norm +. ((shape -. 1.0) *. log t) -. (rate *. t))
   in

@@ -24,7 +24,9 @@ let make ~scale ~shape =
   let quantile p =
     if p < 0.0 || p > 1.0 then
       invalid_arg "Log_logistic.quantile: p must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: p = 0 maps to the support lower bound *)
     if p = 0.0 then 0.0
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: p = 1 maps to +inf *)
     else if p = 1.0 then infinity
     else scale *. ((p /. (1.0 -. p)) ** (1.0 /. shape))
   in

@@ -26,7 +26,9 @@ let make ~mu ~sigma =
   let quantile x =
     if x < 0.0 || x > 1.0 then
       invalid_arg "Lognormal.quantile: x must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 0 maps to the support lower bound *)
     if x = 0.0 then 0.0
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 1 maps to +inf *)
     else if x = 1.0 then infinity
     else exp ((sqrt2 *. sigma *. Sf.erf_inv ((2.0 *. x) -. 1.0)) +. mu)
   in

@@ -49,7 +49,9 @@ let make components =
   in
   let quantile p =
     if p < 0.0 || p > 1.0 then invalid_arg "Mixture.quantile: p must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: p = 0 maps to the support lower bound *)
     if p = 0.0 then (match support with Dist.Bounded (a, _) | Dist.Unbounded a -> a)
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: p = 1 maps to the support upper bound *)
     else if p = 1.0 then
       (match support with Dist.Bounded (_, b) -> b | Dist.Unbounded _ -> infinity)
     else begin

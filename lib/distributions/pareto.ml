@@ -7,6 +7,7 @@ let make ~nu ~alpha =
   let cdf t = if t <= nu then 0.0 else 1.0 -. ((nu /. t) ** alpha) in
   let quantile x =
     if x < 0.0 || x > 1.0 then invalid_arg "Pareto.quantile: x must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 1 maps to +inf *)
     if x = 1.0 then infinity else nu /. ((1.0 -. x) ** (1.0 /. alpha))
   in
   let mean = if alpha > 1.0 then alpha *. nu /. (alpha -. 1.0) else infinity in

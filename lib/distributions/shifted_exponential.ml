@@ -12,6 +12,7 @@ let make ~location ~rate =
   let quantile p =
     if p < 0.0 || p > 1.0 then
       invalid_arg "Shifted_exponential.quantile: p must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: p = 1 maps to +inf *)
     if p = 1.0 then infinity else location -. (log (1.0 -. p) /. rate)
   in
   (* Memorylessness above the shift. *)

@@ -39,6 +39,7 @@ let make ~mu ~sigma ~lower =
   let quantile x =
     if x < 0.0 || x > 1.0 then
       invalid_arg "Truncated_normal.quantile: x must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 1 maps to +inf *)
     if x = 1.0 then infinity
     else begin
       (* Table 5: Q(x) = mu + sigma sqrt2 erf^-1 (z),

@@ -5,6 +5,7 @@ let make ~lambda ~kappa =
     invalid_arg "Weibull.make: lambda and kappa must be positive";
   let pdf t =
     if t < 0.0 then 0.0
+    (* stochlint: allow FLOAT_EQ — pdf endpoint special case: t = 0 and kappa = 1 handled exactly *)
     else if t = 0.0 then (if kappa < 1.0 then infinity else if kappa = 1.0 then 1.0 /. lambda else 0.0)
     else begin
       let r = t /. lambda in
@@ -14,6 +15,7 @@ let make ~lambda ~kappa =
   let cdf t = if t <= 0.0 then 0.0 else 1.0 -. exp (-.((t /. lambda) ** kappa)) in
   let quantile x =
     if x < 0.0 || x > 1.0 then invalid_arg "Weibull.quantile: x must be in [0, 1]";
+    (* stochlint: allow FLOAT_EQ — quantile endpoint sentinel: x = 1 maps to +inf *)
     if x = 1.0 then infinity
     else lambda *. ((-.log (1.0 -. x)) ** (1.0 /. kappa))
   in

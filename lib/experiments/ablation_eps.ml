@@ -46,6 +46,7 @@ let to_string t =
 let sanity t =
   (* Find the index of the paper's eps in the sweep, if present. *)
   let idx = ref (-1) in
+  (* stochlint: allow FLOAT_EQ — locating the paper's literal eps = 1e-7 in the sweep grid *)
   Array.iteri (fun i e -> if e = 1e-7 then idx := i) t.epss;
   if !idx < 0 then []
   else

@@ -47,6 +47,11 @@ let run ?(cfg = Config.paper) ?(jobs = 1500) ?(nodes = 32) ?(load = 1.15) () =
   in
   (* One arrival rate for every combination (common random numbers),
      calibrated on the first strategy's expected consumed node-hours. *)
+  let lead_sequence =
+    match sequences with
+    | [] -> failwith "Cluster_contention.run: no strategies configured"
+    | (_, sequence) :: _ -> sequence
+  in
   (* Wide size-class spectrum (0.1x-10x): the requested-walltime spread
      is what lets the wait-vs-requested fit see the backfilling
      discrimination; at this load the queue never drains, so packing
@@ -54,7 +59,7 @@ let run ?(cfg = Config.paper) ?(jobs = 1500) ?(nodes = 32) ?(load = 1.15) () =
   let scale_min = 0.1 and scale_max = 10.0 in
   let arrival_rate =
     Scheduler.Workload.rate_for_load ~scale_min ~scale_max
-      ~sequence:(snd (List.hd sequences))
+      ~sequence:lead_sequence
       ~load ~cluster_nodes:nodes d
   in
   let spec =

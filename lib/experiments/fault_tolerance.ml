@@ -48,6 +48,14 @@ let run ?(cfg = Config.paper) ?(jobs = 240) ?(nodes = 16) () =
   let sequences =
     List.map (fun (name, s) -> (name, s.Strategy.build assumed d)) named
   in
+  (* The workload calibration and the determinism re-run both key off
+     the first strategy; destructure it once instead of three partial
+     [List.hd]s. *)
+  let lead =
+    match sequences with
+    | [] -> failwith "Fault_tolerance.run: no strategies configured"
+    | s :: _ -> s
+  in
   (* Small size classes (0.1x-0.5x): every job is completable in one
      reservation with reasonable probability even at the highest
      failure rate, so the uncheckpointed arm terminates. *)
@@ -56,7 +64,7 @@ let run ?(cfg = Config.paper) ?(jobs = 240) ?(nodes = 16) () =
   let arrival_rate =
     Scheduler.Workload.rate_for_load ~nodes_min ~nodes_max ~scale_min
       ~scale_max
-      ~sequence:(snd (List.hd sequences))
+      ~sequence:(snd lead)
       ~load:1.1 ~cluster_nodes:nodes d
   in
   let spec =
@@ -104,12 +112,12 @@ let run ?(cfg = Config.paper) ?(jobs = 240) ?(nodes = 16) () =
      summary (per-job metrics included) bit-for-bit. *)
   let deterministic =
     let harshest = List.fold_left max 0.0 rates in
-    let again = simulate ~rate:harshest ~checkpointed:true (List.hd sequences) in
+    let again = simulate ~rate:harshest ~checkpointed:true lead in
     let first =
       List.find
         (fun c ->
           c.rate = harshest && c.checkpointed
-          && c.strategy = fst (List.hd sequences))
+          && c.strategy = fst lead)
         cells
     in
     compare first.summary again.summary = 0
@@ -133,6 +141,7 @@ let to_string t =
         (Printf.sprintf
            "%5.2f  %5s  %-7s  %-13s  %4d  %5d  %5d  %5d  %4.2f  %5.2f  %7.1f\n"
            c.rate
+           (* stochlint: allow FLOAT_EQ — rate 0.0 comes literally from the rate grid (MTBF display) *)
            (if c.rate = 0.0 then "inf"
             else Printf.sprintf "%.0fh" (1.0 /. c.rate))
            (if c.checkpointed then "ckpt" else "restart")
@@ -173,6 +182,7 @@ let sanity t =
   in
   let failures_seen =
     List.for_all
+      (* stochlint: allow FLOAT_EQ — rate 0.0 comes literally from the rate grid (zero-failure arm) *)
       (fun c -> c.rate = 0.0 || c.summary.Scheduler.Metrics.node_failures > 0)
       t.cells
   in

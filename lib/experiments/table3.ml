@@ -58,11 +58,16 @@ let sanity t =
   let add label ok = checks := (label, ok) :: !checks in
   List.iter
     (fun r ->
-      let bf_cost = Option.get r.best.cost in
+      (* A brute-force row without a cost is itself a sanity failure —
+         record it as one instead of raising out of the audit. *)
       let beats_valid_quantiles =
-        Array.for_all
-          (fun e -> match e.cost with None -> true | Some c -> bf_cost <= c *. 1.10)
-          r.quantiles
+        match r.best.cost with
+        | None -> false
+        | Some bf_cost ->
+            Array.for_all
+              (fun e ->
+                match e.cost with None -> true | Some c -> bf_cost <= c *. 1.10)
+              r.quantiles
       in
       add
         (Printf.sprintf "%s: t1_bf at least matches every valid quantile guess"

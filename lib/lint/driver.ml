@@ -1,0 +1,117 @@
+type parse_error = {
+  pe_file : string;
+  pe_line : int;
+  pe_col : int;
+  pe_message : string;
+}
+
+type file_report = {
+  fr_file : string;
+  fr_findings : Finding.t list;
+  fr_suppressed : int;
+  fr_malformed : (int * string) list;
+}
+
+type outcome = {
+  files : int;
+  reports : file_report list;
+  errors : parse_error list;
+}
+
+let normalise path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let skipped_dirs = [ "_build"; ".git"; "fixtures"; "_opam"; "node_modules" ]
+
+let collect_files paths =
+  let out = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          let child = Filename.concat path entry in
+          if Sys.is_directory child then begin
+            if not (List.mem entry skipped_dirs) then walk child
+          end
+          else if Filename.check_suffix entry ".ml" then
+            out := normalise child :: !out)
+        (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then out := normalise path :: !out
+  in
+  List.iter walk paths;
+  List.sort_uniq String.compare !out
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_error_of_exn file exn =
+  let of_loc (loc : Location.t) message =
+    {
+      pe_file = file;
+      pe_line = loc.loc_start.pos_lnum;
+      pe_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+      pe_message = message;
+    }
+  in
+  match exn with
+  | Syntaxerr.Error err ->
+      Some (of_loc (Syntaxerr.location_of_error err) "syntax error")
+  | Lexer.Error (_, loc) -> Some (of_loc loc "lexical error")
+  | Sys_error msg ->
+      Some { pe_file = file; pe_line = 0; pe_col = 0; pe_message = msg }
+  | _ -> None
+
+let lint_file ?context path =
+  let file = normalise path in
+  match
+    let source = read_file path in
+    let lexbuf = Lexing.from_string source in
+    Lexing.set_filename lexbuf file;
+    (source, Parse.implementation lexbuf)
+  with
+  | exception exn -> (
+      match parse_error_of_exn file exn with
+      | Some pe -> Error pe
+      | None -> raise exn)
+  | source, structure ->
+      let context =
+        match context with
+        | Some c -> c
+        | None -> Rules.context_of_path file
+      in
+      let raw = Rules.check ~context ~file ~source structure in
+      let sup = Suppress.scan source in
+      let kept, silenced =
+        List.partition
+          (fun (f : Finding.t) ->
+            not (Suppress.active sup ~rule:f.rule ~line:f.line))
+          raw
+      in
+      Ok
+        {
+          fr_file = file;
+          fr_findings = kept;
+          fr_suppressed = List.length silenced;
+          fr_malformed = Suppress.malformed sup;
+        }
+
+let run ?context paths =
+  let files = collect_files paths in
+  let reports = ref [] and errors = ref [] in
+  List.iter
+    (fun file ->
+      match lint_file ?context file with
+      | Ok r -> reports := r :: !reports
+      | Error e -> errors := e :: !errors)
+    files;
+  { files = List.length files; reports = List.rev !reports; errors = List.rev !errors }
+
+let findings outcome =
+  List.sort Finding.compare
+    (List.concat_map (fun r -> r.fr_findings) outcome.reports)

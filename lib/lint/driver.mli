@@ -1,0 +1,39 @@
+(** File discovery, parsing and rule orchestration. *)
+
+type parse_error = {
+  pe_file : string;
+  pe_line : int;
+  pe_col : int;
+  pe_message : string;
+}
+
+type file_report = {
+  fr_file : string;
+  fr_findings : Finding.t list;  (** after inline suppression *)
+  fr_suppressed : int;  (** findings silenced by inline directives *)
+  fr_malformed : (int * string) list;
+      (** [stochlint:] comments that failed to parse *)
+}
+
+type outcome = {
+  files : int;
+  reports : file_report list;
+  errors : parse_error list;
+}
+
+val collect_files : string list -> string list
+(** Expand each path: a directory is walked recursively for [.ml]
+    files, skipping [_build], [.git] and [fixtures] subtrees (fixture
+    sources violate rules on purpose); a file path is taken verbatim,
+    so tests can point directly at fixtures. Sorted, de-duplicated. *)
+
+val lint_file :
+  ?context:Rules.context -> string -> (file_report, parse_error) result
+(** Parse with compiler-libs ([Parse.implementation]) and run the
+    rules. [context] overrides path-based classification. *)
+
+val run : ?context:Rules.context -> string list -> outcome
+(** [collect_files] + [lint_file] over every discovered source. *)
+
+val findings : outcome -> Finding.t list
+(** All findings across reports, sorted. *)

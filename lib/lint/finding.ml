@@ -1,0 +1,54 @@
+type rule =
+  | Float_eq
+  | Partial_fn
+  | Exn_in_core
+  | Unseeded_random
+  | Print_in_lib
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let all_rules =
+  [ Float_eq; Partial_fn; Exn_in_core; Unseeded_random; Print_in_lib ]
+
+let rule_id = function
+  | Float_eq -> "FLOAT_EQ"
+  | Partial_fn -> "PARTIAL_FN"
+  | Exn_in_core -> "EXN_IN_CORE"
+  | Unseeded_random -> "UNSEEDED_RANDOM"
+  | Print_in_lib -> "PRINT_IN_LIB"
+
+let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
+
+(* FLOAT_EQ, PARTIAL_FN and UNSEEDED_RANDOM are silent-wrong-answer
+   hazards (tail probabilities, trace reproducibility); EXN_IN_CORE and
+   PRINT_IN_LIB are API-discipline rules, so they rank as warnings.
+   The CI gate fails on either — severity only affects reporting. *)
+let severity = function
+  | Float_eq | Partial_fn | Unseeded_random -> Error
+  | Exn_in_core | Print_in_lib -> Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: %s %s: %s" f.file f.line f.col
+    (severity_to_string (severity f.rule))
+    (rule_id f.rule) f.message

@@ -1,0 +1,237 @@
+open Parsetree
+
+type context = Lib of string | Bin | Test | Other
+
+let context_of_path path =
+  let segments = String.split_on_char '/' (String.concat "/" (String.split_on_char '\\' path)) in
+  let rec classify = function
+    | [] -> Other
+    | "lib" :: sub :: _ :: _ -> Lib sub
+    | ("bin" | "examples" | "bench") :: _ -> Bin
+    | ("test" | "tests") :: _ -> Test
+    | _ :: rest -> classify rest
+  in
+  classify segments
+
+let context_of_string s =
+  match String.split_on_char ':' s with
+  | [ "bin" ] -> Ok Bin
+  | [ "test" ] -> Ok Test
+  | [ "other" ] -> Ok Other
+  | [ "lib"; name ] when name <> "" -> Ok (Lib name)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad context %S (expected lib:NAME, bin, test or other)" s)
+
+(* ------------------------------------------------------------------ *)
+(* FLOAT_EQ: which expressions are "known float"?                      *)
+(* ------------------------------------------------------------------ *)
+
+let float_constants =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+(* Top-level operators and functions whose result type is float. *)
+let float_returning =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "~+.";
+    "sqrt"; "exp"; "exp2"; "expm1"; "log"; "log10"; "log2"; "log1p";
+    "cos"; "sin"; "tan"; "acos"; "asin"; "atan"; "atan2";
+    "cosh"; "sinh"; "tanh"; "ceil"; "floor"; "abs_float"; "mod_float";
+    "copysign"; "hypot"; "ldexp"; "float_of_int"; "float_of_string"; "float";
+  ]
+
+(* Float.* values that are themselves floats. *)
+let float_module_constants =
+  [ "pi"; "infinity"; "neg_infinity"; "nan"; "epsilon"; "max_float"; "min_float"; "zero"; "one"; "minus_one" ]
+
+(* Float.* functions returning float (to_int, compare, equal etc. are
+   deliberately absent). *)
+let float_module_functions =
+  [
+    "abs"; "add"; "sub"; "mul"; "div"; "neg"; "rem"; "pow"; "fma";
+    "succ"; "pred"; "max"; "min"; "max_num"; "min_num";
+    "round"; "trunc"; "ceil"; "floor"; "of_int"; "of_string";
+    "sqrt"; "exp"; "log"; "log10"; "log2"; "log1p"; "expm1"; "cbrt";
+    "cos"; "sin"; "tan"; "acos"; "asin"; "atan"; "atan2";
+    "cosh"; "sinh"; "tanh"; "copy_sign"; "ldexp";
+  ]
+
+let rec is_floaty e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Longident.Lident name; _ } ->
+      List.mem name float_constants
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", name); _ } ->
+      List.mem name float_module_constants
+  | Pexp_apply (fn, _) -> (
+      match fn.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident op; _ } ->
+          List.mem op float_returning
+      | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", f); _ } ->
+          List.mem f float_module_functions
+      | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Stdlib", op); _ }
+        ->
+          List.mem op float_returning
+      | _ -> false)
+  | Pexp_constraint (inner, ty) -> is_float_type ty || is_floaty inner
+  | _ -> false
+
+and is_float_type ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Identifier tables for the other rules                               *)
+(* ------------------------------------------------------------------ *)
+
+let partial_functions =
+  [
+    ([ "Option"; "get" ], "Option.get");
+    ([ "List"; "hd" ], "List.hd");
+    ([ "List"; "nth" ], "List.nth");
+    ([ "Hashtbl"; "find" ], "Hashtbl.find");
+    ([ "Array"; "get" ], "Array.get");
+  ]
+
+let partial_hint = function
+  | "Option.get" -> "match on the option or thread the value through"
+  | "List.hd" | "List.nth" -> "pattern-match on the list shape instead"
+  | "Hashtbl.find" -> "use Hashtbl.find_opt"
+  | "Array.get" -> "bounds-check or restructure the index computation"
+  | _ -> "use a total alternative"
+
+let exn_raisers = [ "failwith"; "raise"; "raise_notrace" ]
+
+let print_toplevel =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_newline";
+  ]
+
+let print_formatted = [ "printf"; "eprintf" ]
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check ~context ~file ~source structure =
+  let findings = ref [] in
+  let add rule (loc : Location.t) message =
+    if not loc.loc_ghost then
+      let p = loc.loc_start in
+      findings :=
+        {
+          Finding.rule;
+          file;
+          line = p.pos_lnum;
+          col = p.pos_cnum - p.pos_bol;
+          message;
+        }
+        :: !findings
+  in
+  let in_lib = match context with Lib _ -> true | _ -> false in
+  let exn_rule_applies =
+    match context with Lib ("numerics" | "robustness") -> true | _ -> false
+  in
+  let partial_rule_applies = context <> Test in
+  (* The source text at a location — used to tell a literal
+     [Array.get] from the [a.(i)] sugar, which parses to the same
+     identifier but whose printed form never appears in the file. *)
+  let source_at (loc : Location.t) =
+    let a = loc.loc_start.pos_cnum and b = loc.loc_end.pos_cnum in
+    if a >= 0 && b >= a && b <= String.length source then
+      Some (String.sub source a (b - a))
+    else None
+  in
+  let check_ident (lid : Longident.t Location.loc) =
+    let path = Longident.flatten lid.txt in
+    (* PARTIAL_FN *)
+    if partial_rule_applies then
+      List.iter
+        (fun (target, name) ->
+          if path = target then
+            let explicit =
+              (* [a.(i)] desugars to an [Array.get] ident whose
+                 location spans the whole indexing expression; only
+                 flag spellings the programmer actually wrote. *)
+              name <> "Array.get"
+              ||
+              match source_at lid.loc with
+              | Some text -> text = "Array.get" || text = "Array. get"
+              | None -> false
+            in
+            if explicit then
+              add Partial_fn lid.loc
+                (Printf.sprintf "partial function `%s` can raise at runtime; %s"
+                   name (partial_hint name)))
+        partial_functions;
+    (* EXN_IN_CORE *)
+    if exn_rule_applies then
+      (match path with
+      | [ name ] when List.mem name exn_raisers ->
+          add Exn_in_core lid.loc
+            (Printf.sprintf
+               "`%s` escapes the typed-error layer; return a `result` from \
+                the PR 3 error taxonomy instead"
+               name)
+      | _ -> ());
+    (* UNSEEDED_RANDOM *)
+    (match path with
+    | "Random" :: _ :: _ ->
+        add Unseeded_random lid.loc
+          (Printf.sprintf
+             "global `%s` breaks seeded fault-trace/fuzz reproducibility; \
+              draw from an explicit `Randomness.Rng.t` state"
+             (String.concat "." path))
+    | _ -> ());
+    (* PRINT_IN_LIB *)
+    if in_lib then
+      match path with
+      | [ name ] when List.mem name print_toplevel ->
+          add Print_in_lib lid.loc
+            (Printf.sprintf
+               "`%s` writes to a global channel from library code; format \
+                through `Fmt` or return the data"
+               name)
+      | [ (("Printf" | "Format") as m); fn ] when List.mem fn print_formatted
+        ->
+          add Print_in_lib lid.loc
+            (Printf.sprintf
+               "`%s.%s` writes to a global channel from library code; use \
+                `sprintf`/`asprintf` or a caller-supplied formatter"
+               m fn)
+      | [ "Stdlib"; name ] when List.mem name print_toplevel ->
+          add Print_in_lib lid.loc
+            (Printf.sprintf
+               "`Stdlib.%s` writes to a global channel from library code; \
+                format through `Fmt` or return the data"
+               name)
+      | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid -> check_ident lid
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ },
+                [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] )
+            when (op = "=" || op = "<>" || op = "==" || op = "!=")
+                 && (is_floaty lhs || is_floaty rhs) ->
+              add Float_eq e.pexp_loc
+                (Printf.sprintf
+                   "exact float comparison `%s` on a float operand; use a \
+                    tolerance or an explicit inequality (or suppress if the \
+                    exact value is an intentional sentinel)"
+                   op)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.structure iterator structure;
+  List.sort Finding.compare !findings

@@ -1,0 +1,39 @@
+(** The five stochlint rules, applied to a parsed implementation.
+
+    Which rules run depends on where the file lives:
+
+    - [FLOAT_EQ] and [UNSEEDED_RANDOM] run everywhere (a test that
+      depends on exact float equality or global RNG state is as flaky
+      as library code that does);
+    - [PARTIAL_FN] runs in library and executable code but not tests
+      (a test raising on an unexpected [None] is an acceptable way to
+      fail);
+    - [EXN_IN_CORE] runs only in [lib/numerics] and [lib/robustness],
+      the layers PR 3 moved to a typed-[result] error taxonomy;
+    - [PRINT_IN_LIB] runs only in [lib/]. *)
+
+type context =
+  | Lib of string  (** [Lib "numerics"] for [lib/numerics/foo.ml] *)
+  | Bin
+  | Test
+  | Other
+
+val context_of_path : string -> context
+(** Classify by path segments: the segment after a [lib] component
+    names the library; [bin]/[test] components map to [Bin]/[Test];
+    anything else is [Other]. *)
+
+val context_of_string : string -> (context, string) result
+(** Parse a [--context] override: ["lib:NAME"], ["bin"], ["test"] or
+    ["other"]. *)
+
+val check :
+  context:context ->
+  file:string ->
+  source:string ->
+  Parsetree.structure ->
+  Finding.t list
+(** Run every applicable rule. [source] is the raw file text, used to
+    distinguish a literal [Array.get] from the [a.(i)] sugar the
+    parser desugars to the same identifier. Findings are sorted and
+    not yet suppression- or baseline-filtered. *)

@@ -20,6 +20,7 @@ let ols ~x ~y =
     Kahan.add sxy (dx *. (y.(i) -. ybar))
   done;
   let sxx = Kahan.sum sxx and sxy = Kahan.sum sxy in
+  (* stochlint: allow FLOAT_EQ — exact-zero spread means a degenerate constant-x design *)
   if sxx = 0.0 then invalid_arg "Regression.ols: x values are constant";
   let slope = sxy /. sxx in
   let intercept = ybar -. (slope *. xbar) in
@@ -31,6 +32,7 @@ let ols ~x ~y =
     Kahan.add ss_tot (d *. d)
   done;
   let ss_res = Kahan.sum ss_res and ss_tot = Kahan.sum ss_tot in
+  (* stochlint: allow FLOAT_EQ — ss_tot is 0 exactly when every y is identical; r^2 is 1 by convention *)
   let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
   let residual_std =
     if n > 2 then sqrt (ss_res /. (nf -. 2.0)) else sqrt ss_res

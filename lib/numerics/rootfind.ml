@@ -4,10 +4,13 @@ let same_sign x y = (x > 0.0 && y > 0.0) || (x < 0.0 && y < 0.0)
 
 let bisection ?(tol = 1e-12) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   if fa = 0.0 then a
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   else if fb = 0.0 then b
   else begin
     if same_sign fa fb then
+      (* stochlint: allow EXN_IN_CORE — No_bracket is the documented bracketing contract; Robust.Solver maps it into the typed taxonomy *)
       raise (No_bracket "Rootfind.bisection: f(a) and f(b) have the same sign");
     let a = ref a and b = ref b and fa = ref fa in
     let i = ref 0 in
@@ -15,6 +18,7 @@ let bisection ?(tol = 1e-12) ?(max_iter = 200) f a b =
       incr i;
       let m = 0.5 *. (!a +. !b) in
       let fm = f m in
+      (* stochlint: allow FLOAT_EQ — exact root hit terminates bisection early *)
       if fm = 0.0 then begin
         a := m;
         b := m
@@ -30,10 +34,13 @@ let bisection ?(tol = 1e-12) ?(max_iter = 200) f a b =
 
 let brent ?(tol = 1e-14) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   if fa = 0.0 then a
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   else if fb = 0.0 then b
   else begin
     if same_sign fa fb then
+      (* stochlint: allow EXN_IN_CORE — No_bracket is the documented bracketing contract; Robust.Solver maps it into the typed taxonomy *)
       raise (No_bracket "Rootfind.brent: f(a) and f(b) have the same sign");
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
     (* Ensure |f(b)| <= |f(a)|: b is the current best iterate. *)
@@ -49,6 +56,7 @@ let brent ?(tol = 1e-14) ?(max_iter = 200) f a b =
     let d = ref (!b -. !a) in
     let mflag = ref true in
     let i = ref 0 in
+    (* stochlint: allow FLOAT_EQ — Brent iterates until f(b) is exactly zero or the bracket collapses *)
     while !fb <> 0.0 && Float.abs (!b -. !a) > tol && !i < max_iter do
       incr i;
       let s =
@@ -105,10 +113,13 @@ let brent ?(tol = 1e-14) ?(max_iter = 200) f a b =
 
 let newton_safe ?(tol = 1e-13) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
   let flo = f lo and fhi = f hi in
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   if flo = 0.0 then lo
+  (* stochlint: allow FLOAT_EQ — exact root hit at the bracket endpoint short-circuits the search *)
   else if fhi = 0.0 then hi
   else begin
     if same_sign flo fhi then
+      (* stochlint: allow EXN_IN_CORE — No_bracket is the documented bracketing contract; Robust.Solver maps it into the typed taxonomy *)
       raise (No_bracket "Rootfind.newton_safe: interval does not bracket a root");
     (* Orient so that f(xl) < 0 < f(xh). *)
     let xl = ref (if flo < 0.0 then lo else hi) in
@@ -126,6 +137,7 @@ let newton_safe ?(tol = 1e-13) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
         ((!x -. !xh) *. !dfx -. !fx) *. ((!x -. !xl) *. !dfx -. !fx) > 0.0
       in
       let slow = Float.abs (2.0 *. !fx) > Float.abs (!dxold *. !dfx) in
+      (* stochlint: allow FLOAT_EQ — exact-zero derivative forces the bisection fallback step *)
       if newton_out_of_bracket || slow || !dfx = 0.0 then begin
         dxold := !dx;
         dx := 0.5 *. (!xh -. !xl);
@@ -163,5 +175,6 @@ let expand_bracket ?(factor = 1.6) ?(max_iter = 60) f a b =
     end
   done;
   if same_sign !fa !fb then
+    (* stochlint: allow EXN_IN_CORE — No_bracket is the documented bracketing contract; Robust.Solver maps it into the typed taxonomy *)
     raise (No_bracket "Rootfind.expand_bracket: no sign change found")
   else (!a, !b)

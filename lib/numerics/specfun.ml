@@ -91,6 +91,7 @@ let gamma_q_cf a x =
 let gamma_p a x =
   if a <= 0.0 then invalid_arg "Specfun.gamma_p: a must be positive";
   if x < 0.0 then invalid_arg "Specfun.gamma_p: x must be non-negative";
+  (* stochlint: allow FLOAT_EQ — series/cf boundary: x = 0 returns the exact limit P(a, 0) = 0 *)
   if x = 0.0 then 0.0
   else if x < a +. 1.0 then gamma_p_series a x
   else 1.0 -. gamma_q_cf a x
@@ -98,6 +99,7 @@ let gamma_p a x =
 let gamma_q a x =
   if a <= 0.0 then invalid_arg "Specfun.gamma_q: a must be positive";
   if x < 0.0 then invalid_arg "Specfun.gamma_q: x must be non-negative";
+  (* stochlint: allow FLOAT_EQ — series/cf boundary: x = 0 returns the exact limit Q(a, 0) = 1 *)
   if x = 0.0 then 1.0
   else if x < a +. 1.0 then 1.0 -. gamma_p_series a x
   else gamma_q_cf a x
@@ -110,7 +112,9 @@ let inverse_gamma_p a p =
   if a <= 0.0 then invalid_arg "Specfun.inverse_gamma_p: a must be positive";
   if p < 0.0 || p > 1.0 then
     invalid_arg "Specfun.inverse_gamma_p: p must be in [0, 1]";
+  (* stochlint: allow FLOAT_EQ — inverse endpoint sentinel: p = 0 maps to 0 exactly *)
   if p = 0.0 then 0.0
+  (* stochlint: allow FLOAT_EQ — inverse endpoint sentinel: p = 1 maps to +inf *)
   else if p = 1.0 then infinity
   else begin
     let gln = log_gamma a in
@@ -182,6 +186,7 @@ let inverse_gamma_p a p =
 (* ------------------------------------------------------------------ *)
 
 let erf x =
+  (* stochlint: allow FLOAT_EQ — erf(0) = 0 exactly; avoids the gamma_p singularity at 0 *)
   if x = 0.0 then 0.0
   else if x > 0.0 then gamma_p 0.5 (x *. x)
   else -.gamma_p 0.5 (x *. x)
@@ -232,9 +237,11 @@ let acklam_d =
 
 let normal_quantile p =
   if p <= 0.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: p = 0 maps to -inf, anything below is a domain error *)
     if p = 0.0 then neg_infinity
     else invalid_arg "Specfun.normal_quantile: p must be in [0, 1]"
   else if p >= 1.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: p = 1 maps to +inf, anything above is a domain error *)
     if p = 1.0 then infinity
     else invalid_arg "Specfun.normal_quantile: p must be in [0, 1]"
   else begin
@@ -280,18 +287,22 @@ let normal_quantile p =
 
 let erf_inv z =
   if z <= -1.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: z = -1 maps to -inf, anything below is a domain error *)
     if z = -1.0 then neg_infinity
     else invalid_arg "Specfun.erf_inv: argument must be in [-1, 1]"
   else if z >= 1.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: z = 1 maps to +inf, anything above is a domain error *)
     if z = 1.0 then infinity
     else invalid_arg "Specfun.erf_inv: argument must be in [-1, 1]"
   else normal_quantile ((z +. 1.0) /. 2.0) /. sqrt_two
 
 let erfc_inv q =
   if q <= 0.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: q = 0 maps to +inf, anything below is a domain error *)
     if q = 0.0 then infinity
     else invalid_arg "Specfun.erfc_inv: argument must be in [0, 2]"
   else if q >= 2.0 then
+    (* stochlint: allow FLOAT_EQ — endpoint convention: q = 2 maps to -inf, anything above is a domain error *)
     if q = 2.0 then neg_infinity
     else invalid_arg "Specfun.erfc_inv: argument must be in [0, 2]"
   else erf_inv (1.0 -. q)
@@ -345,7 +356,9 @@ let betai a b x =
   if a <= 0.0 || b <= 0.0 then
     invalid_arg "Specfun.betai: a and b must be positive";
   if x < 0.0 || x > 1.0 then invalid_arg "Specfun.betai: x must be in [0, 1]";
+  (* stochlint: allow FLOAT_EQ — betai endpoint: x = 0 returns the exact limit 0 *)
   if x = 0.0 then 0.0
+  (* stochlint: allow FLOAT_EQ — betai endpoint: x = 1 returns the exact limit 1 *)
   else if x = 1.0 then 1.0
   else begin
     let bt =
@@ -367,7 +380,9 @@ let inverse_betai a b p =
     invalid_arg "Specfun.inverse_betai: a and b must be positive";
   if p < 0.0 || p > 1.0 then
     invalid_arg "Specfun.inverse_betai: p must be in [0, 1]";
+  (* stochlint: allow FLOAT_EQ — inverse endpoint sentinel: p = 0 maps to 0 exactly *)
   if p = 0.0 then 0.0
+  (* stochlint: allow FLOAT_EQ — inverse endpoint sentinel: p = 1 maps to 1 exactly *)
   else if p = 1.0 then 1.0
   else begin
     let x0 =

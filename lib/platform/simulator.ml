@@ -1,4 +1,3 @@
-module Cost_model = Stochastic_core.Cost_model
 module Sequence = Stochastic_core.Sequence
 module Expected_cost = Stochastic_core.Expected_cost
 module Dist = Distributions.Dist

@@ -5,6 +5,7 @@ let standard_normal rng =
     let u = (2.0 *. Rng.float rng) -. 1.0 in
     let v = (2.0 *. Rng.float rng) -. 1.0 in
     let s = (u *. u) +. (v *. v) in
+    (* stochlint: allow FLOAT_EQ — rejection-sampling guard: s = 0.0 exactly would divide by zero below *)
     if s >= 1.0 || s = 0.0 then go ()
     else u *. sqrt (-2.0 *. log s /. s)
   in

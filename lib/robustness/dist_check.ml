@@ -126,6 +126,7 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
     if Float.is_nan f then add "pdf-nan" Fatal (Printf.sprintf "f(%g) is NaN" t)
     else if f < -.tol then
       add "pdf-negative" Fatal (Printf.sprintf "f(%g) = %g < 0" t f)
+    (* stochlint: allow FLOAT_EQ — IEEE comparison to infinity is exact (density-spike probe) *)
     else if f = infinity then begin
       if not !spiky then
         add "pdf-not-finite" Warning
@@ -182,6 +183,7 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
                   d.Dist.pdf u v)
           in
           let seg_mean =
+            (* stochlint: allow FLOAT_EQ — tol_pm = infinity is the skip-sentinel assigned a few lines up *)
             if tol_pm = infinity then 0.0
             else
               guard "pdf-integral" nan (fun () ->
@@ -199,7 +201,16 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
     in
     over knots;
     if !integr_ok then begin
-      let t_lo = List.hd knots and t_hi = List.nth knots (List.length knots - 1) in
+      (* The knot list is [lo :: inner @ [hi]] post-dedupe, so it is
+         nonempty by construction — but that invariant lives two
+         screens up, so match on the shape and report a typed Fatal
+         instead of trusting [List.hd]/[List.nth] not to raise. *)
+      match knots with
+      | [] ->
+          add "pdf-support" Fatal
+            "empty quantile-knot list: pdf support cannot be bracketed"
+      | t_lo :: rest ->
+      let t_hi = List.fold_left (fun _ k -> k) t_lo rest in
       let df = cdf_at t_hi -. cdf_at t_lo in
       let mass = Numerics.Kahan.sum mass in
       if Float.is_finite df && Float.abs (mass -. df) > mass_tol then
@@ -234,6 +245,7 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
       "atoms / density spikes present: quadrature mass checks skipped";
   (* --- moments ------------------------------------------------------ *)
   if Float.is_nan d.Dist.mean then add "mean" Fatal "mean is NaN"
+  (* stochlint: allow FLOAT_EQ — IEEE comparison to infinity is exact (infinite-mean law) *)
   else if d.Dist.mean = infinity then
     add "mean" Fatal "mean is infinite: every strategy has infinite cost"
   else begin
@@ -247,6 +259,7 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
   if Float.is_nan d.Dist.variance then add "variance" Fatal "variance is NaN"
   else if d.Dist.variance < -.tol then
     add "variance" Fatal (Printf.sprintf "variance %g < 0" d.Dist.variance)
+  (* stochlint: allow FLOAT_EQ — IEEE comparison to infinity is exact (infinite-variance law) *)
   else if d.Dist.variance = infinity then
     add "variance" Warning
       "variance is infinite: Theorem 2 search bounds unavailable \
@@ -260,6 +273,7 @@ let run ?(grid = 33) ?(tol = 1e-6) ?(mass_tol = 5e-3) d =
         if Float.is_nan cm then
           add "conditional-mean" Fatal
             (Printf.sprintf "E(X | X > %g) is NaN" tau)
+        (* stochlint: allow FLOAT_EQ — IEEE comparison to infinity is exact (conditional mean probe) *)
         else if cm = infinity then
           add "conditional-mean" Fatal
             (Printf.sprintf "E(X | X > %g) is infinite" tau)

@@ -113,12 +113,14 @@ let over_deadline st tier =
 let spend st ~stage n =
   st.evaluations <- st.evaluations + n;
   if st.evaluations > st.budget.max_evaluations then
+    (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
     raise
       (Tier_fail
          (Budget_exhausted
             { stage; evaluations = st.evaluations; elapsed = elapsed st }))
 
 let fail_non_convergent stage detail =
+  (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
   raise (Tier_fail (Non_convergent { stage; detail }))
 
 (* ------------------------------------------------------------------ *)
@@ -239,6 +241,7 @@ let run_brute_force st ~exact ~seed cost_model d =
      for i = 1 to m do
        if over_deadline st Brute_force then begin
          if Float.is_nan !best_t1 then
+           (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
            raise
              (Tier_fail
                 (Budget_exhausted
@@ -247,6 +250,7 @@ let run_brute_force st ~exact ~seed cost_model d =
                      evaluations = st.evaluations;
                      elapsed = elapsed st;
                    }))
+         (* stochlint: allow EXN_IN_CORE — Exit implements early loop termination and is caught immediately below *)
          else raise Exit
        end;
        spend st ~stage 1;
@@ -286,6 +290,7 @@ let run_brute_force st ~exact ~seed cost_model d =
 let run_dp st cost_model d =
   let stage = tier_name Dp_equal_probability in
   if over_deadline st Dp_equal_probability then
+    (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
     raise
       (Tier_fail
          (Budget_exhausted
@@ -310,6 +315,7 @@ let run_mean_doubling st cost_model d =
   ignore cost_model;
   let stage = tier_name Mean_doubling in
   if over_deadline st Mean_doubling then
+    (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
     raise
       (Tier_fail
          (Budget_exhausted

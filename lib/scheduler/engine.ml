@@ -143,9 +143,9 @@ let run (config : config) jobs =
       | Some (now, ev) ->
           incr processed;
           Cluster.advance cluster now;
-          (match ev with
-          | Arrival j -> pending := !pending @ [ j ]
-          | Finish (j, epoch) ->
+          (match (ev, faults) with
+          | Arrival j, _ -> pending := !pending @ [ j ]
+          | Finish (j, epoch), _ ->
               (* Stale when a failure already killed this attempt: the
                  job is no longer running, or has been redispatched
                  under a newer epoch. *)
@@ -160,7 +160,12 @@ let run (config : config) jobs =
                 end
                 else Event_queue.push events ~time:now (Arrival j)
               end
-          | Node_down node ->
+          (* Node_down/Node_up events are only ever scheduled from a
+             [Some f] fault model (see the seeding loop above and the
+             reschedules below), so the faults value is threaded
+             through the match instead of being ripped out of the
+             option with a partial [Option.get]. *)
+          | Node_down node, Some f ->
               incr node_failures;
               (match
                  List.find_opt (fun s -> List.mem node s.ids) !running
@@ -168,16 +173,18 @@ let run (config : config) jobs =
               | Some slot -> evict now slot
               | None -> ());
               Cluster.mark_down cluster node;
-              let f = Option.get faults in
               Event_queue.push events
                 ~time:(now +. Faults.downtime f ~node)
                 (Node_up node)
-          | Node_up node ->
+          | Node_up node, Some f ->
               Cluster.mark_up cluster node;
-              let f = Option.get faults in
               let up = Faults.uptime f ~node in
               if Float.is_finite up then
-                Event_queue.push events ~time:(now +. up) (Node_down node));
+                Event_queue.push events ~time:(now +. up) (Node_down node)
+          | (Node_down _ | Node_up _), None ->
+              failwith
+                "Engine.run: failure event without a fault model — \
+                 event-queue corruption");
           schedule now;
           loop ()
   in

@@ -103,7 +103,10 @@ let uptime t ~node =
       else infinity
 
 let downtime t ~node =
-  if t.config.mean_repair = 0.0 then 0.0
+  (* Guard, not equality: a zero-or-negative mean repair means
+     instantaneous recovery, and an exact [= 0.0] would let a tiny
+     negative value through to a negative exponential rate. *)
+  if t.config.mean_repair <= 0.0 then 0.0
   else
     Randomness.Sampler.exponential (stream t node)
       ~rate:(1.0 /. t.config.mean_repair)

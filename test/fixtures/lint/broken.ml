@@ -1,0 +1,2 @@
+(* Fixture: unparseable on purpose — stochlint must exit 2. *)
+let oops = (

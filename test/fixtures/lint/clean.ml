@@ -1,0 +1,6 @@
+(* Fixture: nothing to report. *)
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let close ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let head_opt xs = match xs with [] -> None | x :: _ -> Some x

@@ -1,0 +1,12 @@
+(* Fixture: EXN_IN_CORE must fire on failwith and raise but not on
+   invalid_arg (precondition guards stay exceptions) nor on the
+   result-typed variant. *)
+let fail_hard x = if x < 0.0 then failwith "negative" else sqrt x
+
+let reraise e = raise e
+
+let precondition x =
+  if x < 0.0 then invalid_arg "precondition: negative";
+  sqrt x
+
+let typed x = if x < 0.0 then Error "negative" else Ok (sqrt x)

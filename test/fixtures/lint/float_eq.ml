@@ -1,0 +1,11 @@
+(* Fixture: FLOAT_EQ must fire on the three `exact_*` bindings and
+   stay quiet on the tolerance-based comparison. *)
+let tol = 1e-9
+
+let exact_literal x = x = 1.0
+
+let exact_expr x y = x *. y <> sqrt 2.0
+
+let exact_infinity x = x = infinity
+
+let fine x = Float.abs (x -. 1.0) < tol

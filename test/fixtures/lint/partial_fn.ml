@@ -1,0 +1,15 @@
+(* Fixture: PARTIAL_FN must fire on the five partial stdlib calls and
+   stay quiet on the a.(i) sugar and the total pattern-match. *)
+let first xs = List.hd xs
+
+let second xs = List.nth xs 1
+
+let forced o = Option.get o
+
+let lookup tbl k = Hashtbl.find tbl k
+
+let item (arr : int array) i = Array.get arr i
+
+let sugar (arr : int array) i = arr.(i)
+
+let ok xs = match xs with [] -> None | x :: _ -> Some x

@@ -1,0 +1,7 @@
+(* Fixture: PRINT_IN_LIB must fire on direct channel writes and stay
+   quiet on sprintf. *)
+let report x = print_endline (string_of_float x)
+
+let debug x = Printf.printf "%f\n" x
+
+let fine x = Printf.sprintf "%f" x

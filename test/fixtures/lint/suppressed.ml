@@ -1,0 +1,7 @@
+(* Fixture: both FLOAT_EQ sites carry a suppression — same-line and
+   previous-line forms — so the file must lint clean with exactly two
+   suppressed findings. *)
+let same_line x = x = 0.0 (* stochlint: allow FLOAT_EQ — sentinel fixture *)
+
+(* stochlint: allow FLOAT_EQ — sentinel fixture, previous-line form *)
+let line_above x = x = 1.0

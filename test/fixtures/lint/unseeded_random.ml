@@ -1,0 +1,8 @@
+(* Fixture: UNSEEDED_RANDOM must fire on every global Random use,
+   including the Random.State API (still the stdlib RNG, not the
+   project's randomness library). *)
+let init () = Random.self_init ()
+
+let draw () = Random.float 1.0
+
+let state_draw st = Random.State.float st 1.0

@@ -212,7 +212,7 @@ let test_cascade_deterministic () =
 
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest
+    List.map (fun t -> QCheck_alcotest.to_alcotest t)
       ([ prop_cascade; prop_dist_check_total ]
       @ List.map prop_tier Solver.all_tiers)
   in

@@ -1,0 +1,336 @@
+(* Golden tests for the linter: each rule fires on its fixture at the
+   recorded file:line:col, suppressions and the baseline filter work,
+   and the CLI exit codes match the CI contract (0 clean / 1 findings
+   / 2 parse error). Fixture sources live under [fixtures/lint/]; the
+   directory walker skips them, so they only lint when named
+   explicitly, with [--context] standing in for their pretend
+   location. *)
+
+open Stochlint_lib
+
+let fixture name = Filename.concat "fixtures/lint" name
+let exe = Filename.concat ".." "bin/stochlint.exe"
+
+let report ?context name =
+  match Driver.lint_file ?context (fixture name) with
+  | Ok r -> r
+  | Error e ->
+      Alcotest.failf "fixture %s failed to parse: %s:%d: %s" name e.pe_file
+        e.pe_line e.pe_message
+
+(* (rule id, line, col) triples — enough to pin the golden locations
+   without being brittle about message wording. *)
+let locs (r : Driver.file_report) =
+  List.map
+    (fun (f : Finding.t) -> (Finding.rule_id f.rule, f.line, f.col))
+    r.fr_findings
+
+let check_locs = Alcotest.(check (list (triple string int int)))
+
+(* --- one golden fixture per rule ------------------------------------ *)
+
+let test_float_eq () =
+  let r = report ~context:(Rules.Lib "core") "float_eq.ml" in
+  check_locs "float_eq findings"
+    [ ("FLOAT_EQ", 5, 22); ("FLOAT_EQ", 7, 21); ("FLOAT_EQ", 9, 23) ]
+    (locs r)
+
+let test_partial_fn () =
+  let r = report ~context:(Rules.Lib "core") "partial_fn.ml" in
+  check_locs "partial_fn findings"
+    [
+      ("PARTIAL_FN", 3, 15);
+      ("PARTIAL_FN", 5, 16);
+      ("PARTIAL_FN", 7, 15);
+      ("PARTIAL_FN", 9, 19);
+      ("PARTIAL_FN", 11, 31);
+      (* line 13, the [arr.(i)] sugar, must NOT appear *)
+    ]
+    (locs r)
+
+let test_partial_fn_allowed_in_tests () =
+  let r = report ~context:Rules.Test "partial_fn.ml" in
+  check_locs "PARTIAL_FN is off in test code" [] (locs r)
+
+let test_exn_in_core () =
+  let r = report ~context:(Rules.Lib "numerics") "exn_in_core.ml" in
+  check_locs "exn_in_core findings (invalid_arg stays legal)"
+    [ ("EXN_IN_CORE", 4, 34); ("EXN_IN_CORE", 6, 16) ]
+    (locs r)
+
+let test_exn_outside_core_layers () =
+  let r = report ~context:(Rules.Lib "core") "exn_in_core.ml" in
+  check_locs "EXN_IN_CORE only covers numerics/robustness" [] (locs r)
+
+let test_unseeded_random () =
+  let r = report ~context:Rules.Test "unseeded_random.ml" in
+  check_locs "unseeded_random findings (fires even in tests)"
+    [
+      ("UNSEEDED_RANDOM", 4, 14);
+      ("UNSEEDED_RANDOM", 6, 14);
+      ("UNSEEDED_RANDOM", 8, 20);
+    ]
+    (locs r)
+
+let test_print_in_lib () =
+  let r = report ~context:(Rules.Lib "core") "print_in_lib.ml" in
+  check_locs "print_in_lib findings (sprintf stays legal)"
+    [ ("PRINT_IN_LIB", 3, 15); ("PRINT_IN_LIB", 5, 14) ]
+    (locs r)
+
+let test_print_allowed_in_bin () =
+  let r = report ~context:Rules.Bin "print_in_lib.ml" in
+  check_locs "PRINT_IN_LIB is off in executables" [] (locs r)
+
+(* --- suppression and clean fixtures --------------------------------- *)
+
+let test_suppressed () =
+  let r = report ~context:(Rules.Lib "core") "suppressed.ml" in
+  check_locs "suppressed findings" [] (locs r);
+  Alcotest.(check int) "both directives consumed" 2 r.fr_suppressed;
+  Alcotest.(check int) "no malformed directives" 0
+    (List.length r.fr_malformed)
+
+let test_clean () =
+  let r = report ~context:(Rules.Lib "core") "clean.ml" in
+  check_locs "clean fixture" [] (locs r);
+  Alcotest.(check int) "nothing suppressed" 0 r.fr_suppressed
+
+let test_walker_skips_fixtures () =
+  (* Walking the test directory itself must not descend into
+     fixtures/ — fixture sources violate rules on purpose and would
+     otherwise fail @lint. Explicit file arguments still reach them. *)
+  let files = Driver.collect_files [ "." ] in
+  Alcotest.(check bool) "walk found the test sources" true (files <> []);
+  let contains_fixtures f =
+    let n = String.length f and m = 8 (* "fixtures" *) in
+    let rec at i = i + m <= n && (String.sub f i m = "fixtures" || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun f ->
+      if contains_fixtures f then Alcotest.failf "walker descended into %s" f)
+    files
+
+(* --- rule metadata --------------------------------------------------- *)
+
+let test_rule_id_roundtrip () =
+  List.iter
+    (fun rule ->
+      match Finding.rule_of_id (Finding.rule_id rule) with
+      | Some r when r = rule -> ()
+      | _ -> Alcotest.failf "rule id %s does not round-trip"
+               (Finding.rule_id rule))
+    Finding.all_rules
+
+let test_severities () =
+  let sev r = Finding.(severity_to_string (severity r)) in
+  Alcotest.(check string) "FLOAT_EQ" "error" (sev Finding.Float_eq);
+  Alcotest.(check string) "PARTIAL_FN" "error" (sev Finding.Partial_fn);
+  Alcotest.(check string) "UNSEEDED_RANDOM" "error"
+    (sev Finding.Unseeded_random);
+  Alcotest.(check string) "EXN_IN_CORE" "warning" (sev Finding.Exn_in_core);
+  Alcotest.(check string) "PRINT_IN_LIB" "warning" (sev Finding.Print_in_lib)
+
+(* --- baseline filtering ---------------------------------------------- *)
+
+let float_eq_findings () =
+  (report ~context:(Rules.Lib "core") "float_eq.ml").fr_findings
+
+let test_baseline_absorbs () =
+  let findings = float_eq_findings () in
+  let b = Baseline.of_findings findings in
+  let app = Baseline.apply b findings in
+  Alcotest.(check int) "nothing kept" 0 (List.length app.kept);
+  Alcotest.(check int) "all absorbed" (List.length findings) app.baselined;
+  Alcotest.(check int) "no group over budget" 0 (List.length app.exceeded)
+
+let test_baseline_exceeded_reports_whole_group () =
+  let findings = float_eq_findings () in
+  (* Grandfather one fewer than present: the whole (file, rule) group
+     must come back, since counts cannot single out the new one. *)
+  let b = Baseline.of_findings (List.tl findings) in
+  let app = Baseline.apply b findings in
+  Alcotest.(check int) "whole group kept" (List.length findings)
+    (List.length app.kept);
+  match app.exceeded with
+  | [ (file, rule, found, allowed) ] ->
+      Alcotest.(check string) "group file" (fixture "float_eq.ml") file;
+      Alcotest.(check string) "group rule" "FLOAT_EQ" (Finding.rule_id rule);
+      Alcotest.(check int) "found" (List.length findings) found;
+      Alcotest.(check int) "allowed" (List.length findings - 1) allowed
+  | l -> Alcotest.failf "expected one exceeded group, got %d" (List.length l)
+
+let test_baseline_roundtrip () =
+  let findings = float_eq_findings () in
+  let path = Filename.temp_file "stochlint" ".json" in
+  let oc = open_out path in
+  output_string oc (Baseline.to_json_string (Baseline.of_findings findings));
+  close_out oc;
+  let b =
+    match Baseline.load path with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "baseline reload failed: %s" e
+  in
+  Sys.remove path;
+  Alcotest.(check int) "count survives the round-trip"
+    (List.length findings)
+    (Baseline.allowed b ~file:(fixture "float_eq.ml") ~rule:Finding.Float_eq)
+
+let test_baseline_missing_file () =
+  match Baseline.load "no-such-baseline.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing baseline must be an error"
+
+(* --- CLI exit codes (the CI contract) -------------------------------- *)
+
+let run_cli args =
+  Sys.command
+    (Filename.quote_command exe ~stdout:Filename.null ~stderr:Filename.null
+       args)
+
+let test_exit_clean () =
+  Alcotest.(check int) "clean file exits 0" 0
+    (run_cli [ "--context"; "lib:core"; fixture "clean.ml" ])
+
+let test_exit_findings () =
+  Alcotest.(check int) "seeded violation exits 1" 1
+    (run_cli [ "--context"; "lib:core"; fixture "float_eq.ml" ])
+
+let test_exit_parse_error () =
+  Alcotest.(check int) "unparseable source exits 2" 2
+    (run_cli [ "--context"; "lib:core"; fixture "broken.ml" ])
+
+let with_baseline_file contents f =
+  let path = Filename.temp_file "stochlint" ".json" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_exit_seeded_violation_vs_empty_baseline () =
+  (* The CI gate: an empty baseline must NOT absorb a fresh violation. *)
+  with_baseline_file
+    (Baseline.to_json_string Baseline.empty)
+    (fun path ->
+      Alcotest.(check int) "empty baseline still fails" 1
+        (run_cli
+           [ "--context"; "lib:core"; "--baseline"; path;
+             fixture "float_eq.ml" ]))
+
+let test_exit_baselined_violation_passes () =
+  with_baseline_file
+    (Baseline.to_json_string (Baseline.of_findings (float_eq_findings ())))
+    (fun path ->
+      Alcotest.(check int) "grandfathered findings pass" 0
+        (run_cli
+           [ "--context"; "lib:core"; "--baseline"; path;
+             fixture "float_eq.ml" ]))
+
+let test_json_report () =
+  let out = Filename.temp_file "stochlint" ".out" in
+  let status =
+    Sys.command
+      (Filename.quote_command exe ~stdout:out ~stderr:Filename.null
+         [ "--json"; "--context"; "lib:core"; fixture "float_eq.ml" ])
+  in
+  let ic = open_in_bin out in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  Alcotest.(check int) "exit code" 1 status;
+  let json =
+    match Json.of_string raw with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  in
+  let get name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> v
+    | None -> Alcotest.failf "report field %s missing or mistyped" name
+  in
+  let findings = get "findings" Json.to_list in
+  Alcotest.(check int) "three findings in the report" 3
+    (List.length findings);
+  let first = List.hd findings in
+  let field name conv =
+    match Option.bind (Json.member name first) conv with
+    | Some v -> v
+    | None -> Alcotest.failf "finding field %s missing or mistyped" name
+  in
+  Alcotest.(check string) "rule id" "FLOAT_EQ" (field "rule" Json.to_str);
+  Alcotest.(check int) "line" 5 (field "line" Json.to_int);
+  Alcotest.(check string) "file" (fixture "float_eq.ml")
+    (field "file" Json.to_str)
+
+(* --- context classification ------------------------------------------ *)
+
+let ctx =
+  Alcotest.testable
+    (fun ppf -> function
+      | Rules.Lib s -> Format.fprintf ppf "Lib %s" s
+      | Rules.Bin -> Format.pp_print_string ppf "Bin"
+      | Rules.Test -> Format.pp_print_string ppf "Test"
+      | Rules.Other -> Format.pp_print_string ppf "Other")
+    ( = )
+
+let test_context_of_path () =
+  let check path expect =
+    Alcotest.check ctx path expect (Rules.context_of_path path)
+  in
+  check "lib/numerics/specfun.ml" (Rules.Lib "numerics");
+  check "lib/robustness/solver.ml" (Rules.Lib "robustness");
+  check "bin/stochlint.ml" Rules.Bin;
+  check "test/test_lint.ml" Rules.Test;
+  check "dune-project" Rules.Other
+
+let () =
+  Alcotest.run "stochlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "FLOAT_EQ golden" `Quick test_float_eq;
+          Alcotest.test_case "PARTIAL_FN golden" `Quick test_partial_fn;
+          Alcotest.test_case "PARTIAL_FN off in tests" `Quick
+            test_partial_fn_allowed_in_tests;
+          Alcotest.test_case "EXN_IN_CORE golden" `Quick test_exn_in_core;
+          Alcotest.test_case "EXN_IN_CORE scoped to core layers" `Quick
+            test_exn_outside_core_layers;
+          Alcotest.test_case "UNSEEDED_RANDOM golden" `Quick
+            test_unseeded_random;
+          Alcotest.test_case "PRINT_IN_LIB golden" `Quick test_print_in_lib;
+          Alcotest.test_case "PRINT_IN_LIB off in bin" `Quick
+            test_print_allowed_in_bin;
+          Alcotest.test_case "inline suppression" `Quick test_suppressed;
+          Alcotest.test_case "clean fixture" `Quick test_clean;
+          Alcotest.test_case "walker skips fixtures/" `Quick
+            test_walker_skips_fixtures;
+          Alcotest.test_case "rule ids round-trip" `Quick
+            test_rule_id_roundtrip;
+          Alcotest.test_case "severity table" `Quick test_severities;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "absorbs grandfathered findings" `Quick
+            test_baseline_absorbs;
+          Alcotest.test_case "over-budget group fully reported" `Quick
+            test_baseline_exceeded_reports_whole_group;
+          Alcotest.test_case "JSON round-trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "missing file is an error" `Quick
+            test_baseline_missing_file;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "exit 0 on clean" `Quick test_exit_clean;
+          Alcotest.test_case "exit 1 on findings" `Quick test_exit_findings;
+          Alcotest.test_case "exit 2 on parse error" `Quick
+            test_exit_parse_error;
+          Alcotest.test_case "empty baseline fails seeded violation" `Quick
+            test_exit_seeded_violation_vs_empty_baseline;
+          Alcotest.test_case "full baseline passes" `Quick
+            test_exit_baselined_violation_passes;
+          Alcotest.test_case "--json report shape" `Quick test_json_report;
+        ] );
+      ( "context",
+        [ Alcotest.test_case "path classification" `Quick test_context_of_path ] );
+    ]
