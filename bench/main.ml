@@ -5,7 +5,9 @@
      dune exec bench/main.exe               # everything, paper parameters
      dune exec bench/main.exe -- quick      # everything, reduced parameters
      dune exec bench/main.exe -- table2     # a single artefact
-     dune exec bench/main.exe -- perf      # only the micro-benchmarks *)
+     dune exec bench/main.exe -- perf      # only the micro-benchmarks
+     dune exec bench/main.exe -- obs --out BENCH_obs.json
+                                            # instrumentation overhead *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -133,6 +135,90 @@ let run_trace_vs_fit cfg =
   report_sanity (Experiments.Trace_vs_fit.sanity t)
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the same solve workload with the tracing    *)
+(* sink and metrics registry off vs on. The artefact backs the         *)
+(* "instrumentation is a branch when disabled" claim with a number     *)
+(* and gives CI something to gate on (overhead must stay under 10%).   *)
+(* ------------------------------------------------------------------ *)
+
+let run_obs ~out =
+  section "Observability overhead: instrumented vs no-op solve";
+  let module M = Stochobs.Metrics in
+  let cost = Stochastic_core.Cost_model.reservation_only in
+  let d = Distributions.Lognormal.default in
+  let budget = Robust.Solver.quick_budget in
+  let solve obs =
+    match Robust.Solver.solve ~obs ~budget ~seed:42 cost d with
+    | Ok _ -> ()
+    | Error e -> failwith (Robust.Solver.error_to_string e)
+  in
+  let time_batch reps f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do f () done;
+    Sys.time () -. t0
+  in
+  (* Calibrate the repetition count so the no-op arm runs long enough
+     (~1 s) to make the relative overhead measurable, then take the
+     best of three batches per arm to shed scheduling noise. *)
+  solve Stochobs.Trace.null;
+  let once = time_batch 1 (fun () -> solve Stochobs.Trace.null) in
+  let reps = max 10 (min 500 (int_of_float (1.0 /. Float.max 1e-4 once))) in
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 3 do m := Float.min !m (time_batch reps f) done;
+    !m
+  in
+  let wall_noop = best (fun () -> solve Stochobs.Trace.null) in
+  let buf = Buffer.create 65536 in
+  let sink =
+    Stochobs.Trace.make ~clock:(Stochobs.Clock.fake ())
+      (Stochobs.Writer.to_buffer buf)
+  in
+  M.set_enabled M.default true;
+  let before = M.snapshot M.default in
+  let wall_on = best (fun () -> solve sink) in
+  let delta = M.diff ~before ~after:(M.snapshot M.default) in
+  M.set_enabled M.default false;
+  let evaluations =
+    match List.assoc_opt "robust.solver.evaluations" delta with
+    | Some (M.Counter_v n) -> n
+    | _ -> 0
+  in
+  let overhead =
+    if wall_noop > 0.0 then (wall_on -. wall_noop) /. wall_noop else 0.0
+  in
+  let num v = Stochobs.Json.Num v in
+  let json =
+    Stochobs.Json.Obj
+      [
+        ("workload", Stochobs.Json.Str "robust-solve lognormal quick-budget");
+        ("reps", num (float_of_int (3 * reps)));
+        ("wall_seconds_noop", num wall_noop);
+        ("wall_seconds_instrumented", num wall_on);
+        ("overhead", num overhead);
+        ("evaluations", num (float_of_int evaluations));
+        ("spans", num (float_of_int (Stochobs.Trace.spans_written sink)));
+        ("trace_bytes", num (float_of_int (Buffer.length buf)));
+      ]
+  in
+  Printf.printf
+    "no-op: %.4f s, instrumented: %.4f s over %d solves -> overhead %.2f%% \
+     (%d spans, %d trace bytes)\n"
+    wall_noop wall_on reps (100.0 *. overhead)
+    (Stochobs.Trace.spans_written sink)
+    (Buffer.length buf);
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Stochobs.Json.to_string json);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the individual solvers.                *)
 (* ------------------------------------------------------------------ *)
 
@@ -223,8 +309,15 @@ let run_perf () =
     results;
   List.iter print_endline (List.sort compare !lines)
 
+(* Pull the "--out FILE" pair (destination of the obs artefact) out of
+   the positional artefact names. *)
+let rec split_out acc = function
+  | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+  | a :: rest -> split_out (a :: acc) rest
+  | [] -> (None, List.rev acc)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let out, args = split_out [] (Array.to_list Sys.argv |> List.tl) in
   let quick = List.mem "quick" args in
   let cfg =
     if quick then Experiments.Config.quick else Experiments.Config.paper
@@ -257,4 +350,5 @@ let () =
   if want "trace-vs-fit" then run_trace_vs_fit cfg;
   if want "cluster" then run_cluster cfg ~quick;
   if want "faults" then run_faults cfg ~quick;
+  if want "obs" then run_obs ~out;
   if want "perf" then run_perf ()

@@ -3,7 +3,8 @@
    Examples:
      stochastic-reservations sequence --dist lognormal --strategy brute-force
      stochastic-reservations evaluate --dist weibull --strategy equal-time
-     stochastic-reservations simulate --trace runs.csv --jobs 2000 --hpc
+     stochastic-reservations simulate --input-trace runs.csv --jobs 2000 --hpc
+     stochastic-reservations solve --dist lognormal --trace /tmp/solve.jsonl
      stochastic-reservations table2 --quick
      stochastic-reservations s1 *)
 
@@ -25,17 +26,17 @@ let dist_arg =
   in
   Arg.(value & opt string "lognormal" & info [ "dist"; "d" ] ~docv:"NAME" ~doc)
 
-let trace_arg =
+let input_trace_arg =
   let doc =
     "CSV trace of execution times (one per line); used as an interpolated \
      empirical distribution instead of $(b,--dist)."
   in
-  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some file) None & info [ "input-trace" ] ~docv:"FILE" ~doc)
 
 let fit_arg =
   let doc =
-    "Fit a LogNormal to the $(b,--trace) CSV (as the paper does for Fig. 1) \
-     instead of interpolating it directly."
+    "Fit a LogNormal to the $(b,--input-trace) CSV (as the paper does for \
+     Fig. 1) instead of interpolating it directly."
   in
   Arg.(value & flag & info [ "fit-lognormal" ] ~doc)
 
@@ -130,6 +131,91 @@ let resolve_strategy name ~m ~n ~disc_n ~seed =
       Printf.eprintf "unknown strategy %S\n" name;
       exit 2
 
+(* ----------------------- observability flags ---------------------- *)
+
+type obs_opts = {
+  trace_file : string option;
+  metrics_file : string option;
+  profile : bool;
+  fake_clock : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Write a JSONL span trace of the run to $(docv) (one JSON \
+                object per line; pipe through jq to inspect).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:
+               "Enable the profiling registry and write the run's metric \
+                deltas to $(docv) as JSON.")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:
+               "Enable the profiling registry and print the metric deltas \
+                to stderr when the run finishes.")
+  in
+  let fake_clock =
+    Arg.(value & flag
+         & info [ "fake-clock" ]
+             ~doc:
+               "Timestamp trace records with a deterministic counter clock \
+                instead of CPU time, so same-seed runs produce byte-identical \
+                trace files.")
+  in
+  Term.(
+    const (fun trace_file metrics_file profile fake_clock ->
+        { trace_file; metrics_file; profile; fake_clock })
+    $ trace $ metrics $ profile $ fake_clock)
+
+(* Run [f] under the observability options: build the trace sink, flip
+   the global metrics registry on when requested, and emit the metric
+   deltas (file and/or stderr) once [f] finishes — also on the error
+   path, so a failed solve still leaves its trace and counters behind. *)
+let with_obs opts f =
+  let module M = Stochobs.Metrics in
+  let metrics_on = opts.profile || opts.metrics_file <> None in
+  if metrics_on then M.set_enabled M.default true;
+  let before = M.snapshot M.default in
+  let finish () =
+    if metrics_on then begin
+      let delta =
+        M.diff ~before ~after:(M.snapshot M.default)
+        |> List.filter (fun (_, v) -> not (M.zero v))
+      in
+      (match opts.metrics_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Stochobs.Json.to_string (M.to_json delta));
+              output_char oc '\n'));
+      if opts.profile then Format.eprintf "%a@." M.pp delta
+    end
+  in
+  Fun.protect ~finally:finish (fun () ->
+      match opts.trace_file with
+      | None -> f Stochobs.Trace.null
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              let clock =
+                if opts.fake_clock then Stochobs.Clock.fake ()
+                else Stochobs.Clock.cpu
+              in
+              f (Stochobs.Trace.make ~clock (Stochobs.Writer.of_channel oc))))
+
 (* ---------------------------- commands ---------------------------- *)
 
 let sequence_cmd =
@@ -153,7 +239,7 @@ let sequence_cmd =
   Cmd.v
     (Cmd.info "sequence" ~doc:"Compute and print a reservation sequence.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
       $ seed_arg $ count_arg)
 
@@ -171,7 +257,7 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Monte-Carlo-evaluate a strategy's normalized expected cost.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
       $ seed_arg)
 
@@ -194,7 +280,7 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Replay a strategy through the job-flow simulator.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
       $ seed_arg $ jobs_arg)
 
@@ -214,7 +300,7 @@ let bounds_cmd =
   Cmd.v
     (Cmd.info "bounds" ~doc:"Print the Theorem 2 search bounds.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg)
 
 let cloud_cmd =
@@ -249,14 +335,14 @@ let cloud_cmd =
     (Cmd.info "cloud"
        ~doc:"Decide Reserved Instances vs On-Demand for a workload.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ ratio_arg $ m_arg $ n_mc_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ ratio_arg $ m_arg $ n_mc_arg
       $ seed_arg)
 
 let cluster_cmd =
   let run dist trace fit hpc alpha beta gamma strategy m n disc_n seed jobs
       nodes policy load nodes_min nodes_max scale_min scale_max failure_rate
       fault_model weibull_shape repair max_retries backoff ckpt_period
-      ckpt_cost restart_cost =
+      ckpt_cost restart_cost obs_opts =
     let d = resolve_dist ~hpc dist trace fit in
     let model = resolve_model hpc alpha beta gamma in
     let s = resolve_strategy strategy ~m ~n ~disc_n ~seed in
@@ -311,9 +397,10 @@ let cluster_cmd =
     let workload =
       Scheduler.Workload.generate ?checkpoint spec d ~sequence:seq rng
     in
+    with_obs obs_opts @@ fun obs ->
     let result =
       Scheduler.Engine.run
-        (Scheduler.Engine.make_config ?faults ~retry ~nodes ~policy ())
+        (Scheduler.Engine.make_config ~obs ?faults ~retry ~nodes ~policy ())
         workload
     in
     let summary = Scheduler.Metrics.summarize ~model result in
@@ -462,13 +549,13 @@ let cluster_cmd =
           and measure the wait-time model that the NeuroHPC scenario \
           assumes.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ strategy_arg $ m_arg $ n_mc_arg $ disc_n_arg
       $ seed_arg $ jobs_arg $ nodes_arg $ policy_arg $ load_arg
       $ nodes_min_arg $ nodes_max_arg $ scale_min_arg $ scale_max_arg
       $ failure_rate_arg $ fault_model_arg $ weibull_shape_arg $ repair_arg
       $ max_retries_arg $ backoff_arg $ ckpt_period_arg $ ckpt_cost_arg
-      $ restart_cost_arg)
+      $ restart_cost_arg $ obs_term)
 
 (* --------------------- robust solving commands -------------------- *)
 
@@ -491,11 +578,11 @@ let check_cmd =
          "Run the numerical self-check on a distribution and print the \
           diagnostic report. Exits 4 on fatal inconsistencies.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ strict_arg)
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ strict_arg)
 
 let solve_cmd =
   let run dist trace fit hpc alpha beta gamma m n disc_n seed count strict
-      no_validate exact quick max_seconds max_evals tiers =
+      no_validate exact quick max_seconds max_evals tiers obs_opts =
     let d = resolve_dist ~hpc dist trace fit in
     let model = resolve_model hpc alpha beta gamma in
     let base =
@@ -530,9 +617,10 @@ let solve_cmd =
                        other;
                      exit 2)
     in
+    with_obs obs_opts @@ fun obs ->
     match
-      Robust.Solver.solve ~budget ~tiers ~validate:(not no_validate) ~exact
-        ~seed model d
+      Robust.Solver.solve ~obs ~budget ~tiers ~validate:(not no_validate)
+        ~exact ~seed model d
     with
     | Error e ->
         Format.eprintf "solve failed: %a@." Robust.Solver.pp_error e;
@@ -626,10 +714,11 @@ let solve_cmd =
           degradation, 4 invalid distribution, 5 non-convergent, 6 budget \
           exhausted, 7 invalid parameter.")
     Term.(
-      const run $ dist_arg $ trace_arg $ fit_arg $ hpc_arg $ alpha_arg
+      const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ m_arg $ n_mc_arg $ disc_n_arg $ seed_arg
       $ count_arg $ strict_arg $ no_validate_arg $ exact_arg
-      $ quick_budget_arg $ max_seconds_arg $ max_evals_arg $ tiers_arg)
+      $ quick_budget_arg $ max_seconds_arg $ max_evals_arg $ tiers_arg
+      $ obs_term)
 
 (* Experiment commands share a tiny driver. *)
 
@@ -637,77 +726,96 @@ let quick_arg =
   Arg.(value & flag
        & info [ "quick" ] ~doc:"Reduced parameters (fast smoke run).")
 
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose"; "v" ]
+           ~doc:"Log experiment progress to stderr as cells complete.")
+
 let experiment_cmd name doc run =
+  let exec quick verbose obs_opts =
+    let cfg =
+      if quick then Experiments.Config.quick else Experiments.Config.paper
+    in
+    let log =
+      if verbose then
+        Stochobs.Log.make ~min_level:Stochobs.Log.Debug
+          (Stochobs.Writer.of_channel stderr)
+      else Stochobs.Log.null
+    in
+    with_obs obs_opts @@ fun obs ->
+    Stochobs.Trace.with_span obs
+      ~attrs:
+        [
+          ("experiment", Stochobs.Trace.Str name);
+          ("quick", Stochobs.Trace.Bool quick);
+        ]
+      "experiments.run"
+    @@ fun () -> print_string (run cfg log)
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const (fun quick ->
-          let cfg =
-            if quick then Experiments.Config.quick else Experiments.Config.paper
-          in
-          print_string (run cfg))
-      $ quick_arg)
+    Term.(const exec $ quick_arg $ verbose_arg $ obs_term)
 
 let table2_cmd =
-  experiment_cmd "table2" "Reproduce Table 2." (fun cfg ->
+  experiment_cmd "table2" "Reproduce Table 2." (fun cfg _log ->
       Experiments.Table2.(to_string (run ~cfg ())))
 
 let table3_cmd =
-  experiment_cmd "table3" "Reproduce Table 3." (fun cfg ->
+  experiment_cmd "table3" "Reproduce Table 3." (fun cfg _log ->
       Experiments.Table3.(to_string (run ~cfg ())))
 
 let table4_cmd =
-  experiment_cmd "table4" "Reproduce Table 4." (fun cfg ->
+  experiment_cmd "table4" "Reproduce Table 4." (fun cfg _log ->
       Experiments.Table4.(to_string (run ~cfg ())))
 
 let fig1_cmd =
-  experiment_cmd "fig1" "Reproduce Figure 1." (fun cfg ->
+  experiment_cmd "fig1" "Reproduce Figure 1." (fun cfg _log ->
       Experiments.Fig1.(to_string (run ~cfg ())))
 
 let fig2_cmd =
-  experiment_cmd "fig2" "Reproduce Figure 2." (fun cfg ->
+  experiment_cmd "fig2" "Reproduce Figure 2." (fun cfg _log ->
       Experiments.Fig2.(to_string (run ~cfg ())))
 
 let fig3_cmd =
-  experiment_cmd "fig3" "Reproduce Figure 3." (fun cfg ->
+  experiment_cmd "fig3" "Reproduce Figure 3." (fun cfg _log ->
       Experiments.Fig3.(to_string (run ~cfg ())))
 
 let fig4_cmd =
-  experiment_cmd "fig4" "Reproduce Figure 4." (fun cfg ->
+  experiment_cmd "fig4" "Reproduce Figure 4." (fun cfg _log ->
       Experiments.Fig4.(to_string (run ~cfg ())))
 
 let s1_cmd =
-  experiment_cmd "s1" "Compute the Exp(1) optimum of Sect. 3.5." (fun cfg ->
+  experiment_cmd "s1" "Compute the Exp(1) optimum of Sect. 3.5." (fun cfg _log ->
       Experiments.Exp_s1.(to_string (run ~cfg ())))
 
 let table2x_cmd =
   experiment_cmd "table2x"
-    "Extended Table 2 over the beyond-the-paper distributions." (fun cfg ->
+    "Extended Table 2 over the beyond-the-paper distributions." (fun cfg _log ->
       Experiments.Table2x.(to_string (run ~cfg ())))
 
 let ablation_bf_cmd =
   experiment_cmd "ablation-bf"
-    "Ablation: brute-force resolution and MC selection optimism." (fun cfg ->
+    "Ablation: brute-force resolution and MC selection optimism." (fun cfg _log ->
       Experiments.Ablation_bf.(to_string (run ~cfg ())))
 
 let ablation_eps_cmd =
   experiment_cmd "ablation-eps"
     "Ablation: truncation quantile for the discretization schemes."
-    (fun cfg -> Experiments.Ablation_eps.(to_string (run ~cfg ())))
+    (fun cfg _log -> Experiments.Ablation_eps.(to_string (run ~cfg ())))
 
 let robustness_cmd =
   experiment_cmd "robustness"
     "Ablation: strategies computed from finite-trace fits vs the oracle."
-    (fun cfg -> Experiments.Robustness.(to_string (run ~cfg ())))
+    (fun cfg _log -> Experiments.Robustness.(to_string (run ~cfg ())))
 
 let robust_solve_cmd =
   experiment_cmd "robust-solve"
     "Bench the robust solver cascade (tier counts, validation overhead) over \
      the Table 1 distributions."
-    (fun cfg -> Experiments.Robust_solve.(to_string (run ~cfg ())))
+    (fun cfg log -> Experiments.Robust_solve.(to_string (run ~cfg ~log ())))
 
 let trace_vs_fit_cmd =
   experiment_cmd "trace-vs-fit"
-    "Ablation: interpolated-trace vs LogNormal-fit strategies." (fun cfg ->
+    "Ablation: interpolated-trace vs LogNormal-fit strategies." (fun cfg _log ->
       Experiments.Trace_vs_fit.(to_string (run ~cfg ())))
 
 let main =

@@ -40,7 +40,8 @@ let checkpoint_spec =
     ~params:(Checkpoint.make_params ~checkpoint_cost:0.05 ~restart_cost:0.05)
     ~period:1.0
 
-let run ?(cfg = Config.paper) ?(jobs = 240) ?(nodes = 16) () =
+let run ?(cfg = Config.paper) ?(log = Stochobs.Log.null) ?(jobs = 240)
+    ?(nodes = 16) () =
   let assumed = Cost_model.neuro_hpc in
   let d = Distributions.Lognormal.default in
   let base_rng = Config.rng_for cfg "fault-tolerance" in
@@ -92,12 +93,13 @@ let run ?(cfg = Config.paper) ?(jobs = 240) ?(nodes = 16) () =
            ~policy:Scheduler.Policy.Easy_backfill ())
         workload
     in
-    {
-      rate;
-      checkpointed;
-      strategy = name;
-      summary = Scheduler.Metrics.summarize ~model:assumed result;
-    }
+    let summary = Scheduler.Metrics.summarize ~model:assumed result in
+    Stochobs.Log.infof log
+      "fault-tolerance: rate %.2f/h, %s, %s: %d/%d done, goodput %.1f%%" rate
+      (if checkpointed then "ckpt" else "restart")
+      name summary.Scheduler.Metrics.completed jobs
+      (100.0 *. Scheduler.Metrics.goodput_fraction summary);
+    { rate; checkpointed; strategy = name; summary }
   in
   let cells =
     List.concat_map

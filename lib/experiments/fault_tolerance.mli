@@ -28,11 +28,14 @@ type t = {
           bit-for-bit. *)
 }
 
-val run : ?cfg:Config.t -> ?jobs:int -> ?nodes:int -> unit -> t
+val run :
+  ?cfg:Config.t -> ?log:Stochobs.Log.t -> ?jobs:int -> ?nodes:int -> unit -> t
 (** Defaults: [jobs] 240 (paper) / 120 (quick mode heuristic left to
     callers), [nodes = 16]. Jobs use size classes 0.1x-0.5x so even
     uncheckpointed attempts stay completable at the highest failure
-    rate (the sweep must terminate under unlimited retries). *)
+    rate (the sweep must terminate under unlimited retries). [log]
+    (default {!Stochobs.Log.null}) receives one progress line per
+    sweep cell as it completes. *)
 
 val to_string : t -> string
 

@@ -21,7 +21,7 @@ let time f =
   let v = f () in
   (v, Sys.time () -. t0)
 
-let run ?(cfg = Config.paper) () =
+let run ?(cfg = Config.paper) ?(log = Stochobs.Log.null) () =
   let cost = C.reservation_only in
   let budget =
     {
@@ -31,9 +31,12 @@ let run ?(cfg = Config.paper) () =
       dp_points = cfg.Config.disc_n;
     }
   in
+  let total = List.length Distributions.Table1.all in
   let rows =
     Distributions.Table1.all
-    |> List.map (fun (name, d) ->
+    |> List.mapi (fun i (name, d) ->
+           Stochobs.Log.debugf log "robust-solve: [%d/%d] solving %s" (i + 1)
+             total name;
            let _, check_seconds = time (fun () -> Robust.Dist_check.run d) in
            let solved, solve_seconds =
              time (fun () ->
@@ -44,33 +47,39 @@ let run ?(cfg = Config.paper) () =
                  Robust.Solver.solve ~budget ~validate:false
                    ~seed:cfg.Config.seed cost d)
            in
-           match solved with
-           | Ok sol ->
-               {
-                 dist_name = name;
-                 tier =
-                   Robust.Solver.tier_name
-                     sol.Robust.Solver.diagnostics.Robust.Solver.chosen;
-                 rejections =
-                   List.length
-                     sol.Robust.Solver.diagnostics.Robust.Solver.rejected;
-                 normalized = sol.Robust.Solver.normalized;
-                 check_seconds;
-                 solve_seconds;
-                 baseline_seconds;
-               }
-           | Error e ->
-               {
-                 dist_name = name;
-                 tier =
-                   Printf.sprintf "FAILED (%s)"
-                     (Robust.Solver.error_to_string e);
-                 rejections = List.length Robust.Solver.all_tiers;
-                 normalized = nan;
-                 check_seconds;
-                 solve_seconds;
-                 baseline_seconds;
-               })
+           let row =
+             match solved with
+             | Ok sol ->
+                 {
+                   dist_name = name;
+                   tier =
+                     Robust.Solver.tier_name
+                       sol.Robust.Solver.diagnostics.Robust.Solver.chosen;
+                   rejections =
+                     List.length
+                       sol.Robust.Solver.diagnostics.Robust.Solver.rejected;
+                   normalized = sol.Robust.Solver.normalized;
+                   check_seconds;
+                   solve_seconds;
+                   baseline_seconds;
+                 }
+             | Error e ->
+                 {
+                   dist_name = name;
+                   tier =
+                     Printf.sprintf "FAILED (%s)"
+                       (Robust.Solver.error_to_string e);
+                   rejections = List.length Robust.Solver.all_tiers;
+                   normalized = nan;
+                   check_seconds;
+                   solve_seconds;
+                   baseline_seconds;
+                 }
+           in
+           Stochobs.Log.infof log
+             "robust-solve: [%d/%d] %s -> %s (%.3f s solve)" (i + 1) total name
+             row.tier row.solve_seconds;
+           row)
   in
   let tier_counts =
     List.fold_left

@@ -28,9 +28,11 @@ type t = {
           cost of validating every input before solving. *)
 }
 
-val run : ?cfg:Config.t -> unit -> t
+val run : ?cfg:Config.t -> ?log:Stochobs.Log.t -> unit -> t
 (** [run ()] solves all nine Table 1 rows under RESERVATIONONLY with
-    the configured grids (paper parameters by default). *)
+    the configured grids (paper parameters by default). [log] (default
+    {!Stochobs.Log.null}) receives one progress line per distribution
+    as it completes — the CLI's [--verbose] wires it to stderr. *)
 
 val to_string : t -> string
 

@@ -4,6 +4,7 @@ type rule =
   | Exn_in_core
   | Unseeded_random
   | Print_in_lib
+  | Unlogged_sink
 
 type severity = Error | Warning
 
@@ -16,7 +17,10 @@ type t = {
 }
 
 let all_rules =
-  [ Float_eq; Partial_fn; Exn_in_core; Unseeded_random; Print_in_lib ]
+  [
+    Float_eq; Partial_fn; Exn_in_core; Unseeded_random; Print_in_lib;
+    Unlogged_sink;
+  ]
 
 let rule_id = function
   | Float_eq -> "FLOAT_EQ"
@@ -24,16 +28,18 @@ let rule_id = function
   | Exn_in_core -> "EXN_IN_CORE"
   | Unseeded_random -> "UNSEEDED_RANDOM"
   | Print_in_lib -> "PRINT_IN_LIB"
+  | Unlogged_sink -> "UNLOGGED_SINK"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
 (* FLOAT_EQ, PARTIAL_FN and UNSEEDED_RANDOM are silent-wrong-answer
-   hazards (tail probabilities, trace reproducibility); EXN_IN_CORE and
-   PRINT_IN_LIB are API-discipline rules, so they rank as warnings.
-   The CI gate fails on either — severity only affects reporting. *)
+   hazards (tail probabilities, trace reproducibility); EXN_IN_CORE,
+   PRINT_IN_LIB and UNLOGGED_SINK are API-discipline rules, so they
+   rank as warnings. The CI gate fails on either — severity only
+   affects reporting. *)
 let severity = function
   | Float_eq | Partial_fn | Unseeded_random -> Error
-  | Exn_in_core | Print_in_lib -> Warning
+  | Exn_in_core | Print_in_lib | Unlogged_sink -> Warning
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 

@@ -6,6 +6,9 @@ type rule =
   | Exn_in_core  (** [failwith]/[raise] in the typed-error core layers *)
   | Unseeded_random  (** global [Random.*] instead of [Randomness.Rng] *)
   | Print_in_lib  (** [print_*]/[Printf.printf] in library code *)
+  | Unlogged_sink
+      (** bare [stdout]/[stderr]/[Format.std_formatter] in library
+          code — route output through [Stochobs.Log]/[Writer] *)
 
 type severity = Error | Warning
 

@@ -1,12 +1,8 @@
-(** Minimal JSON support for stochlint reports and baselines.
+(** Re-export of {!Stochobs.Json}, which is where the emitter moved
+    when the observability layer (a leaf library) started needing it.
+    Lint code keeps referring to [Json] unchanged. *)
 
-    Deliberately dependency-free: the container only guarantees the
-    OCaml toolchain, so the linter carries its own emitter and a small
-    recursive-descent parser covering the subset it writes (objects,
-    arrays, strings with backslash escapes, integers/floats, booleans,
-    null). *)
-
-type t =
+type t = Stochobs.Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -15,15 +11,8 @@ type t =
   | Obj of (string * t) list
 
 val to_string : ?indent:bool -> t -> string
-(** Serialise; [indent] (default true) pretty-prints with 2-space
-    indentation so baselines diff cleanly under version control. *)
-
 val of_string : string -> (t, string) result
-(** Parse, or [Error message] naming the byte offset of the failure. *)
-
 val member : string -> t -> t option
-(** Field lookup on [Obj]; [None] on anything else. *)
-
 val to_int : t -> int option
 val to_str : t -> string option
 val to_list : t -> t list option

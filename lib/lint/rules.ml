@@ -113,6 +113,12 @@ let print_toplevel =
 
 let print_formatted = [ "printf"; "eprintf" ]
 
+(* UNLOGGED_SINK: references to ambient output channels/formatters.
+   Library code should take a [Stochobs.Writer.t]/[Log.t] from the
+   caller instead of reaching for a process-global sink. *)
+let global_channels = [ "stdout"; "stderr" ]
+let global_formatters = [ "std_formatter"; "err_formatter" ]
+
 (* ------------------------------------------------------------------ *)
 (* The pass                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -211,13 +217,35 @@ let check ~context ~file ~source structure =
                name)
       | _ -> ()
   in
+  (* UNLOGGED_SINK — a separate hook because it must see every ident
+     reference, including ones nested under applications the other
+     rules already matched. *)
+  let check_sink (lid : Longident.t Location.loc) =
+    if in_lib then
+      match Longident.flatten lid.txt with
+      | ([ name ] | [ "Stdlib"; name ]) when List.mem name global_channels ->
+          add Unlogged_sink lid.loc
+            (Printf.sprintf
+               "ambient channel `%s` referenced from library code; accept a \
+                `Stochobs.Writer.t` (or `Log.t`) from the caller instead"
+               name)
+      | [ "Format"; name ] when List.mem name global_formatters ->
+          add Unlogged_sink lid.loc
+            (Printf.sprintf
+               "ambient formatter `Format.%s` referenced from library code; \
+                take the formatter as a parameter or log via `Stochobs.Log`"
+               name)
+      | _ -> ()
+  in
   let iterator =
     {
       Ast_iterator.default_iterator with
       expr =
         (fun self e ->
           (match e.pexp_desc with
-          | Pexp_ident lid -> check_ident lid
+          | Pexp_ident lid ->
+              check_ident lid;
+              check_sink lid
           | Pexp_apply
               ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ },
                 [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] )

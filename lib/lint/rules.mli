@@ -1,4 +1,4 @@
-(** The five stochlint rules, applied to a parsed implementation.
+(** The six stochlint rules, applied to a parsed implementation.
 
     Which rules run depends on where the file lives:
 
@@ -10,7 +10,9 @@
       fail);
     - [EXN_IN_CORE] runs only in [lib/numerics] and [lib/robustness],
       the layers PR 3 moved to a typed-[result] error taxonomy;
-    - [PRINT_IN_LIB] runs only in [lib/]. *)
+    - [PRINT_IN_LIB] and [UNLOGGED_SINK] run only in [lib/]:
+      library code emits through a caller-supplied [Stochobs] writer
+      or logger, never an ambient channel/formatter. *)
 
 type context =
   | Lib of string  (** [Lib "numerics"] for [lib/numerics/foo.ml] *)

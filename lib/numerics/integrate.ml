@@ -1,10 +1,25 @@
 let default_tol = 1e-10
 
+(* Profiling probes on the global registry. Disabled (the default)
+   they cost one branch per quadrature call, not per panel: recursion
+   depth is tracked in a plain ref and only fed to the histogram once
+   the call returns. *)
+let m_calls = Stochobs.Metrics.(counter default) "numerics.integrate.calls"
+
+let m_nonfinite =
+  Stochobs.Metrics.(counter default) "numerics.integrate.nonfinite_bailouts"
+
+let m_depth =
+  Stochobs.Metrics.(histogram default) "numerics.integrate.depth"
+    ~buckets:[| 0.0; 2.0; 4.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0 |]
+
 (* ------------------------------------------------------------------ *)
 (* Adaptive Simpson with Richardson extrapolation.                     *)
 (* ------------------------------------------------------------------ *)
 
 let simpson ?(tol = default_tol) ?(max_depth = 48) f a b =
+  Stochobs.Metrics.incr m_calls;
+  let deepest = ref 0 in
   let simpson_panel fa fm fb h = h /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
   let rec go a fa b fb m fm whole tol depth =
     let lm = 0.5 *. (a +. m) in
@@ -16,23 +31,31 @@ let simpson ?(tol = default_tol) ?(max_depth = 48) f a b =
     (* A non-finite integrand poisons delta; subdividing would explore
        the full 2^depth tree without ever converging, so propagate the
        poisoned panel to the caller instead. *)
-    if
-      depth <= 0
-      || Float.abs delta <= 15.0 *. tol
-      || not (Float.is_finite delta)
-    then left +. right +. (delta /. 15.0)
+    if not (Float.is_finite delta) then begin
+      Stochobs.Metrics.incr m_nonfinite;
+      if max_depth - depth > !deepest then deepest := max_depth - depth;
+      left +. right +. (delta /. 15.0)
+    end
+    else if depth <= 0 || Float.abs delta <= 15.0 *. tol then begin
+      if max_depth - depth > !deepest then deepest := max_depth - depth;
+      left +. right +. (delta /. 15.0)
+    end
     else
       go a fa m fm lm flm left (tol /. 2.0) (depth - 1)
       +. go m fm b fb rm frm right (tol /. 2.0) (depth - 1)
   in
-  if a = b then 0.0
-  else begin
-    let sign, a, b = if a > b then (-1.0, b, a) else (1.0, a, b) in
-    let m = 0.5 *. (a +. b) in
-    let fa = f a and fb = f b and fm = f m in
-    let whole = simpson_panel fa fm fb (b -. a) in
-    sign *. go a fa b fb m fm whole tol max_depth
-  end
+  let r =
+    if a = b then 0.0
+    else begin
+      let sign, a, b = if a > b then (-1.0, b, a) else (1.0, a, b) in
+      let m = 0.5 *. (a +. b) in
+      let fa = f a and fb = f b and fm = f m in
+      let whole = simpson_panel fa fm fb (b -. a) in
+      sign *. go a fa b fb m fm whole tol max_depth
+    end
+  in
+  Stochobs.Metrics.observe_int m_depth !deepest;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Gauss–Kronrod 7/15.                                                 *)
@@ -95,19 +118,28 @@ let qk15 f a b =
 
 let gauss_kronrod ?(tol = default_tol) ?(max_depth = 48) ?(initial = 1) f a b =
   if initial <= 0 then invalid_arg "Integrate.gauss_kronrod: initial <= 0";
+  Stochobs.Metrics.incr m_calls;
+  let deepest = ref 0 in
   let rec go a b tol depth =
     let integral, err = qk15 f a b in
     (* A nan integrand poisons the error estimate; subdividing would
        explore the full 2^depth tree without ever converging, so
        propagate the nan to the caller instead. *)
-    if not (Float.is_finite integral) then integral
+    if not (Float.is_finite integral) then begin
+      Stochobs.Metrics.incr m_nonfinite;
+      if max_depth - depth > !deepest then deepest := max_depth - depth;
+      integral
+    end
     else if
       depth <= 0 || err <= tol
       (* Roundoff floor: once the estimate is within a few ulps of the
          panel's own magnitude, refinement cannot improve it and would
          only blow the recursion tree up. *)
       || err <= 1e-14 *. Float.abs integral
-    then integral
+    then begin
+      if max_depth - depth > !deepest then deepest := max_depth - depth;
+      integral
+    end
     else begin
       let m = 0.5 *. (a +. b) in
       go a m (tol /. 2.0) (depth - 1) +. go m b (tol /. 2.0) (depth - 1)
@@ -125,7 +157,9 @@ let gauss_kronrod ?(tol = default_tol) ?(max_depth = 48) ?(initial = 1) f a b =
     done;
     Kahan.sum acc
   in
-  if a = b then 0.0 else if a > b then -.run b a else run a b
+  let r = if a = b then 0.0 else if a > b then -.run b a else run a b in
+  Stochobs.Metrics.observe_int m_depth !deepest;
+  r
 
 let to_infinity ?(tol = default_tol) f a =
   (* x = a + u / (1 - u), dx = du / (1 - u)^2, u in (0, 1). The

@@ -1,5 +1,18 @@
 type result = { xmin : float; fmin : float; evaluations : int }
 
+(* Profiling probes: each optimiser already counts its objective
+   evaluations for the caller, so feeding the registry is one counter
+   add per call, not per evaluation. *)
+let m_calls = Stochobs.Metrics.(counter default) "numerics.optimize.calls"
+
+let m_evals =
+  Stochobs.Metrics.(counter default) "numerics.optimize.evaluations"
+
+let record (r : result) =
+  Stochobs.Metrics.incr m_calls;
+  Stochobs.Metrics.add m_evals r.evaluations;
+  r
+
 let invphi = (sqrt 5.0 -. 1.0) /. 2.0 (* 1/phi *)
 
 let golden_section ?(tol = 1e-10) ?(max_iter = 200) f a b =
@@ -32,7 +45,7 @@ let golden_section ?(tol = 1e-10) ?(max_iter = 200) f a b =
     end
   done;
   let xmin = if !fc < !fd then !c else !d in
-  { xmin; fmin = Float.min !fc !fd; evaluations = !evals }
+  record { xmin; fmin = Float.min !fc !fd; evaluations = !evals }
 
 let brent_min ?(tol = 1e-10) ?(max_iter = 200) f a b =
   let cgold = 0.3819660112501051 in
@@ -113,7 +126,7 @@ let brent_min ?(tol = 1e-10) ?(max_iter = 200) f a b =
       end
     end
   done;
-  { xmin = !x; fmin = !fx; evaluations = !evals }
+  record { xmin = !x; fmin = !fx; evaluations = !evals }
 
 let grid ?(refine = true) ~n f a b =
   if n <= 0 then invalid_arg "Optimize.grid: n must be positive";
@@ -145,4 +158,4 @@ let grid ?(refine = true) ~n f a b =
       best_x := r.xmin
     end
   end;
-  { xmin = !best_x; fmin = !best_f; evaluations = !evals }
+  record { xmin = !best_x; fmin = !best_f; evaluations = !evals }

@@ -32,6 +32,24 @@ let quantile xs p =
   Array.sort compare copy;
   quantiles_sorted copy p
 
+let quantile_nearest_rank_sorted xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile_nearest_rank: empty sample";
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Stats.quantile_nearest_rank: p must be in [0, 1]";
+  (* Nearest-rank definition: the smallest sample value with at least
+     a [p] fraction of the sample at or below it, i.e. the order
+     statistic of rank ceil(p * n) (rank 1 when p = 0). Always returns
+     an element of the sample — no interpolation. *)
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else if rank > n then n else rank in
+  xs.(rank - 1)
+
+let quantile_nearest_rank xs p =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  quantile_nearest_rank_sorted copy p
+
 let median xs = quantile xs 0.5
 
 let min_max xs =

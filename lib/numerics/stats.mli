@@ -30,6 +30,20 @@ val quantiles_sorted : float array -> float -> float
 (** [quantiles_sorted xs p] is {!quantile} on an array the caller
     guarantees is already sorted; no copy is made. *)
 
+val quantile_nearest_rank : float array -> float -> float
+(** [quantile_nearest_rank xs p] is the nearest-rank [p]-quantile: the
+    order statistic of rank [ceil (p * n)] (clamped to [[1, n]]), i.e.
+    the smallest sample value with at least a [p] fraction of the
+    sample at or below it. Unlike {!quantile} it never interpolates,
+    so the result is always an observed value — the right reading for
+    reported tail metrics such as p95 stretch, where an interpolated
+    value between two observations describes no job that actually ran.
+    Sorts a copy of the input.
+    @raise Invalid_argument on an empty array or [p] outside [[0,1]]. *)
+
+val quantile_nearest_rank_sorted : float array -> float -> float
+(** {!quantile_nearest_rank} on an already-sorted array; no copy. *)
+
 val median : float array -> float
 (** [median xs] is [quantile xs 0.5]. *)
 

@@ -1,0 +1,11 @@
+type t = string -> unit
+
+let null : t = fun _ -> ()
+
+let of_channel oc line =
+  output_string oc line;
+  output_char oc '\n'
+
+let to_buffer buf line =
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'

@@ -1,5 +1,22 @@
 module Dist = Distributions.Dist
 module Core_seq = Stochastic_core.Sequence
+module Trace = Stochobs.Trace
+
+(* Profiling probes on the global registry (one branch each while
+   disabled). Evaluations are counted where the budget already charges
+   them, so the metric always agrees with [diagnostics.evaluations]. *)
+let m_solves = Stochobs.Metrics.(counter default) "robust.solver.solves"
+
+let m_evaluations =
+  Stochobs.Metrics.(counter default) "robust.solver.evaluations"
+
+let m_degraded = Stochobs.Metrics.(counter default) "robust.solver.degraded"
+
+let m_rej_budget =
+  Stochobs.Metrics.(counter default) "robust.solver.rejections.budget"
+
+let m_rej_nonconv =
+  Stochobs.Metrics.(counter default) "robust.solver.rejections.non_convergent"
 
 type tier = Brute_force | Dp_equal_probability | Mean_doubling
 
@@ -112,6 +129,7 @@ let over_deadline st tier =
 
 let spend st ~stage n =
   st.evaluations <- st.evaluations + n;
+  Stochobs.Metrics.add m_evaluations n;
   if st.evaluations > st.budget.max_evaluations then
     (* stochlint: allow EXN_IN_CORE — Tier_fail is internal control flow; run_tier catches it and returns a typed Error *)
     raise
@@ -367,8 +385,53 @@ let check_budget_params budget =
                          })
                   else None)))
 
-let solve ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
-    ?(exact = false) ?(seed = 42) cost_model d =
+(* One cascade tier, traced: the span closes with an [outcome]
+   attribute of ["accepted"] or ["rejected"] (plus the typed reason),
+   so a rejection is a recorded result rather than a span error. *)
+let attempt_tier st ~obs ~exact ~seed cost_model d tier =
+  Trace.with_span obs
+    ~attrs:[ ("tier", Trace.Str (tier_name tier)) ]
+    "robust.solver.tier"
+    (fun () ->
+      let reject reason =
+        (match reason with
+        | Budget_exhausted _ -> Stochobs.Metrics.incr m_rej_budget
+        | _ -> Stochobs.Metrics.incr m_rej_nonconv);
+        Trace.annotate obs
+          [
+            ("outcome", Trace.Str "rejected");
+            ("reason", Trace.Str (error_to_string reason));
+          ];
+        Error reason
+      in
+      match
+        let seq = run_tier st ~exact ~seed cost_model d tier in
+        let head, cost, normalized =
+          vet st ~stage:(tier_name tier) cost_model d seq
+        in
+        (seq, head, cost, normalized)
+      with
+      | (_, _, _, normalized) as r ->
+          Trace.annotate obs
+            [
+              ("outcome", Trace.Str "accepted");
+              ("normalized", Trace.Num normalized);
+            ];
+          Ok r
+      | exception Tier_fail reason -> reject reason
+      | exception exn ->
+          (* Last-resort catch: no exception may escape. *)
+          reject
+            (Non_convergent
+               {
+                 stage = tier_name tier;
+                 detail =
+                   Printf.sprintf "unexpected exception %s"
+                     (Printexc.to_string exn);
+               }))
+
+let solve ?(obs = Trace.null) ?(budget = default_budget) ?(tiers = all_tiers)
+    ?(validate = true) ?(exact = false) ?(seed = 42) cost_model d =
   match check_budget_params budget with
   | Some e -> Error e
   | None ->
@@ -376,18 +439,31 @@ let solve ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
         Error
           (Invalid_parameter
              { name = "tiers"; detail = "the cascade needs at least one tier" })
-      else begin
+      else
+        Trace.with_span obs
+          ~attrs:
+            [
+              ("tiers", Trace.Int (List.length tiers));
+              ("exact", Trace.Bool exact);
+              ("seed", Trace.Int seed);
+            ]
+          "robust.solver.solve"
+        @@ fun () ->
+        Stochobs.Metrics.incr m_solves;
         let st = { budget; started = Sys.time (); evaluations = 0 } in
         let validation =
           if validate then Some (Dist_check.run d) else None
         in
         match validation with
         | Some r when not (Dist_check.is_valid r) ->
+            Trace.annotate obs
+              [ ("outcome", Trace.Str "invalid-distribution") ];
             Error (Invalid_distribution r)
         | _ ->
             let rejected = ref [] in
             let rec cascade = function
               | [] ->
+                  Trace.annotate obs [ ("outcome", Trace.Str "exhausted") ];
                   let all_budget =
                     List.for_all
                       (fun r ->
@@ -418,14 +494,11 @@ let solve ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
                              |> String.concat "; ");
                          })
               | tier :: rest -> (
-                  match
-                    let seq = run_tier st ~exact ~seed cost_model d tier in
-                    let head, cost, normalized =
-                      vet st ~stage:(tier_name tier) cost_model d seq
-                    in
-                    (seq, head, cost, normalized)
-                  with
-                  | seq, head, cost, normalized ->
+                  match attempt_tier st ~obs ~exact ~seed cost_model d tier with
+                  | Ok (seq, head, cost, normalized) ->
+                      if !rejected <> [] then Stochobs.Metrics.incr m_degraded;
+                      Trace.annotate obs
+                        [ ("chosen", Trace.Str (tier_name tier)) ];
                       Ok
                         {
                           sequence = seq;
@@ -441,28 +514,11 @@ let solve ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
                               elapsed = elapsed st;
                             };
                         }
-                  | exception Tier_fail reason ->
+                  | Error reason ->
                       rejected := { tier; reason } :: !rejected;
-                      cascade rest
-                  | exception exn ->
-                      (* Last-resort catch: no exception may escape. *)
-                      rejected :=
-                        {
-                          tier;
-                          reason =
-                            Non_convergent
-                              {
-                                stage = tier_name tier;
-                                detail =
-                                  Printf.sprintf "unexpected exception %s"
-                                    (Printexc.to_string exn);
-                              };
-                        }
-                        :: !rejected;
                       cascade rest)
             in
             cascade tiers
-      end
 
 let pp_diagnostics fmt diag =
   (match diag.validation with

@@ -106,6 +106,7 @@ val degraded : solution -> bool
     the preferred solver. *)
 
 val solve :
+  ?obs:Stochobs.Trace.sink ->
   ?budget:budget ->
   ?tiers:tier list ->
   ?validate:bool ->
@@ -114,14 +115,18 @@ val solve :
   Stochastic_core.Cost_model.t ->
   Distributions.Dist.t ->
   (solution, error) result
-(** [solve m d] runs the validated, budgeted cascade. [tiers] (default
-    {!all_tiers}) restricts or reorders the cascade; [validate]
-    (default [true]) runs {!Dist_check.run} first and refuses fatally
-    inconsistent inputs; [exact] (default [false]) makes the
-    brute-force tier rank candidates with the deterministic Eq. (4)
-    series instead of Monte-Carlo; [seed] (default [42]) drives the
-    Monte-Carlo evaluator. Never raises; never hangs (the wall-clock
-    guard is checked between candidates, and every stage is
+(** [solve m d] runs the validated, budgeted cascade. [obs] (default
+    {!Stochobs.Trace.null}) receives a ["robust.solver.solve"] span
+    with one ["robust.solver.tier"] child per executed tier, each
+    closing with an [outcome] attribute ([accepted]/[rejected] plus
+    the typed reason); [tiers] (default {!all_tiers}) restricts or
+    reorders the cascade; [validate] (default [true]) runs
+    {!Dist_check.run} first and refuses fatally inconsistent inputs;
+    [exact] (default [false]) makes the brute-force tier rank
+    candidates with the deterministic Eq. (4) series instead of
+    Monte-Carlo; [seed] (default [42]) drives the Monte-Carlo
+    evaluator. Never raises; never hangs (the wall-clock guard is
+    checked between candidates, and every stage is
     iteration-bounded). *)
 
 val pp_diagnostics : Format.formatter -> diagnostics -> unit

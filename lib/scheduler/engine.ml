@@ -1,3 +1,32 @@
+module Trace = Stochobs.Trace
+
+(* Profiling probes on the global registry: one branch each while the
+   registry is disabled, so they are safe inside the event loop. *)
+let m_events = Stochobs.Metrics.(counter default) "scheduler.engine.events"
+
+let m_dispatches =
+  Stochobs.Metrics.(counter default) "scheduler.engine.dispatches"
+
+let m_queue_depth =
+  Stochobs.Metrics.(gauge default) "scheduler.engine.queue_depth"
+
+let m_kill_timeout =
+  Stochobs.Metrics.(counter default) "scheduler.engine.kills.timeout"
+
+let m_kill_fault =
+  Stochobs.Metrics.(counter default) "scheduler.engine.kills.node_failure"
+
+let m_abandoned =
+  Stochobs.Metrics.(counter default) "scheduler.engine.abandoned"
+
+let h_attempt_span =
+  Stochobs.Metrics.(histogram default) "scheduler.engine.attempt_span"
+    ~buckets:[| 0.1; 1.0; 10.0; 100.0; 1_000.0; 10_000.0 |]
+
+let h_restore =
+  Stochobs.Metrics.(histogram default) "scheduler.engine.checkpoint.restore_time"
+    ~buckets:[| 0.01; 0.1; 1.0; 10.0; 100.0 |]
+
 type retry = { max_retries : int option; backoff : float }
 
 let unlimited_retries = { max_retries = None; backoff = 0.0 }
@@ -16,10 +45,12 @@ type config = {
   policy : Policy.t;
   faults : Faults.config option;
   retry : retry;
+  obs : Trace.sink;
 }
 
-let make_config ?faults ?(retry = unlimited_retries) ~nodes ~policy () =
-  { nodes; policy; faults; retry }
+let make_config ?(obs = Trace.null) ?faults ?(retry = unlimited_retries)
+    ~nodes ~policy () =
+  { nodes; policy; faults; retry; obs }
 
 type result = {
   jobs : Job.t array;
@@ -58,6 +89,16 @@ let run (config : config) jobs =
              "Engine.run: job %d needs %d nodes but the cluster has %d"
              (Job.id j) (Job.nodes j) config.nodes))
     jobs;
+  Trace.with_span config.obs
+    ~attrs:
+      [
+        ("jobs", Trace.Int (Array.length jobs));
+        ("nodes", Trace.Int config.nodes);
+        ("policy", Trace.Str (Policy.name config.policy));
+        ("faults", Trace.Bool (config.faults <> None));
+      ]
+    "scheduler.engine.run"
+  @@ fun () ->
   let events = Event_queue.create () in
   Array.iter
     (fun j -> Event_queue.push events ~time:(Job.arrival j) (Arrival j))
@@ -110,6 +151,10 @@ let run (config : config) jobs =
               let ids = Cluster.allocate cluster (Job.nodes j) in
               Job.start j ~now;
               let span, _completes = Job.attempt_span j in
+              Stochobs.Metrics.incr m_dispatches;
+              Stochobs.Metrics.observe h_attempt_span span;
+              let restore = Job.restore_time j in
+              if restore > 0.0 then Stochobs.Metrics.observe h_restore restore;
               let reservation_end = now +. Job.request j in
               running := { ends = reservation_end; job = j; ids } :: !running;
               Event_queue.push events ~time:(now +. span)
@@ -125,10 +170,12 @@ let run (config : config) jobs =
     Cluster.release cluster slot.ids;
     running := List.filter (fun s -> s.job != slot.job) !running;
     Job.interrupt slot.job ~now;
+    Stochobs.Metrics.incr m_kill_fault;
     match config.retry.max_retries with
     | Some cap when Job.failures slot.job > cap ->
         Job.abandon slot.job;
         incr abandoned;
+        Stochobs.Metrics.incr m_abandoned;
         decr remaining
     | _ ->
         let at = now +. config.retry.backoff in
@@ -142,6 +189,7 @@ let run (config : config) jobs =
       | None -> ()
       | Some (now, ev) ->
           incr processed;
+          Stochobs.Metrics.incr m_events;
           Cluster.advance cluster now;
           (match (ev, faults) with
           | Arrival j, _ -> pending := !pending @ [ j ]
@@ -158,7 +206,10 @@ let run (config : config) jobs =
                   makespan := Float.max !makespan now;
                   decr remaining
                 end
-                else Event_queue.push events ~time:now (Arrival j)
+                else begin
+                  Stochobs.Metrics.incr m_kill_timeout;
+                  Event_queue.push events ~time:now (Arrival j)
+                end
               end
           (* Node_down/Node_up events are only ever scheduled from a
              [Some f] fault model (see the seeding loop above and the
@@ -167,6 +218,9 @@ let run (config : config) jobs =
              option with a partial [Option.get]. *)
           | Node_down node, Some f ->
               incr node_failures;
+              Trace.instant config.obs
+                ~attrs:[ ("node", Trace.Int node); ("t", Trace.Num now) ]
+                "scheduler.engine.node_down";
               (match
                  List.find_opt (fun s -> List.mem node s.ids) !running
                with
@@ -177,6 +231,9 @@ let run (config : config) jobs =
                 ~time:(now +. Faults.downtime f ~node)
                 (Node_up node)
           | Node_up node, Some f ->
+              Trace.instant config.obs
+                ~attrs:[ ("node", Trace.Int node); ("t", Trace.Num now) ]
+                "scheduler.engine.node_up";
               Cluster.mark_up cluster node;
               let up = Faults.uptime f ~node in
               if Float.is_finite up then
@@ -186,6 +243,11 @@ let run (config : config) jobs =
                 "Engine.run: failure event without a fault model — \
                  event-queue corruption");
           schedule now;
+          (* Guarded: the depth is an O(queue) walk, not worth paying
+             when the registry is off. *)
+          if Stochobs.Metrics.(enabled default) then
+            Stochobs.Metrics.set m_queue_depth
+              (float_of_int (List.length !pending));
           loop ()
   in
   loop ();
@@ -197,6 +259,13 @@ let run (config : config) jobs =
     failwith
       (Printf.sprintf
          "Engine.run: busy node-time integral went negative (%.9g)" busy);
+  Trace.annotate config.obs
+    [
+      ("makespan", Trace.Num !makespan);
+      ("events", Trace.Int !processed);
+      ("node_failures", Trace.Int !node_failures);
+      ("abandoned", Trace.Int !abandoned);
+    ];
   {
     jobs;
     nodes = config.nodes;

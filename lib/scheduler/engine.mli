@@ -41,9 +41,13 @@ type config = {
   policy : Policy.t;
   faults : Faults.config option;  (** [None] = perfectly reliable. *)
   retry : retry;
+  obs : Stochobs.Trace.sink;
+      (** Trace sink for the run span and outage events; defaults to
+          {!Stochobs.Trace.null}. *)
 }
 
 val make_config :
+  ?obs:Stochobs.Trace.sink ->
   ?faults:Faults.config ->
   ?retry:retry ->
   nodes:int ->
@@ -66,7 +70,11 @@ type result = {
 val run : config -> Job.t array -> result
 (** [run config jobs] simulates until every job is [Done] or
     [Abandoned] and returns the final state. The [jobs] array is
-    mutated in place (attempt histories, checkpoint progress).
+    mutated in place (attempt histories, checkpoint progress). With a
+    live [config.obs] the whole simulation runs inside a
+    ["scheduler.engine.run"] span annotated with the final makespan
+    and event count, and each outage emits a
+    ["scheduler.engine.node_down"]/[..node_up] point event.
     @raise Invalid_argument if a job needs more nodes than the cluster
     has.
     @raise Failure on internal invariant violations: a job dispatched

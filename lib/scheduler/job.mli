@@ -102,6 +102,11 @@ val reservations : t -> float array
 val remaining : t -> float
 (** [duration - progress]. *)
 
+val restore_time : t -> float
+(** Snapshot-restore overhead the next attempt pays up front: the
+    checkpoint model's [restart_cost] when there is durable progress
+    to reload, [0.] otherwise (fresh jobs, uncheckpointed jobs). *)
+
 val attempt_span : t -> float * bool
 (** [(span, completes)]: how long the current attempt will occupy its
     nodes if no failure interrupts it, and whether it finishes the job

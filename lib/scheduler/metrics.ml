@@ -118,8 +118,11 @@ let summarize ~model (r : Engine.result) =
     utilization = Engine.utilization r;
     mean_wait = mean (fun m -> m.total_wait);
     mean_stretch = mean (fun m -> m.stretch);
+    (* Nearest-rank, not interpolated: a reported tail stretch should
+       be one a job actually experienced (see Stats.quantile_nearest_rank). *)
     p95_stretch =
-      (if n = 0 then 0.0 else Numerics.Stats.quantiles_sorted stretches 0.95);
+      (if n = 0 then 0.0
+       else Numerics.Stats.quantile_nearest_rank_sorted stretches 0.95);
     max_stretch = (if n = 0 then 0.0 else stretches.(n - 1));
     mean_attempts = mean (fun m -> float_of_int m.attempts);
     mean_cost = mean (fun m -> m.cost);

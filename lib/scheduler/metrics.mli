@@ -36,6 +36,8 @@ type summary = {
   mean_wait : float;
   mean_stretch : float;
   p95_stretch : float;
+      (** Nearest-rank 95th percentile ({!Numerics.Stats.quantile_nearest_rank}):
+          always a stretch some completed job actually had. *)
   max_stretch : float;
   mean_attempts : float;
   mean_cost : float;

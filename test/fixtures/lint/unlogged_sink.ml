@@ -1,0 +1,13 @@
+(* Fixture: UNLOGGED_SINK must fire on ambient channel and formatter
+   references, including Stdlib-qualified ones, and stay quiet on
+   caller-supplied sinks and suppressed lines. *)
+let report x = output_string stdout (string_of_float x)
+
+let debug fmtv = Format.fprintf Format.std_formatter "%f@." fmtv
+
+let warn msg = output_string Stdlib.stderr msg
+
+let fine (oc : out_channel) msg = output_string oc msg
+
+(* stochlint: allow UNLOGGED_SINK — fixture exercises the escape hatch *)
+let flushed () = flush stderr

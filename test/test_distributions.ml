@@ -135,6 +135,7 @@ let test_helpers () =
   rel_close "uniform median" 15.0 (Dist.median u);
   let e = Distributions.Exponential.default in
   Alcotest.(check bool) "exponential unbounded" false (Dist.is_bounded e);
+  (* stochlint: allow FLOAT_EQ — infinity is an exact sentinel, not a computed value *)
   Alcotest.(check bool) "exponential upper = inf" true (Dist.upper e = infinity)
 
 (* -------------------- per-distribution oracles -------------------- *)
@@ -215,6 +216,7 @@ let test_pareto_formulas () =
   (* alpha <= 1: infinite mean. *)
   let heavy = Distributions.Pareto.make ~nu:1.0 ~alpha:0.9 in
   Alcotest.(check bool) "heavy pareto has infinite mean" true
+    (* stochlint: allow FLOAT_EQ — infinity is an exact sentinel, not a computed value *)
     (heavy.Dist.mean = infinity)
 
 let test_uniform_formulas () =

@@ -22,6 +22,7 @@ let test_objective_shape () =
   Alcotest.(check bool) "optimum beats 0.3" true (sol.E.e1 <= e 0.3);
   Alcotest.(check bool) "optimum beats 1.5" true (sol.E.e1 <= e 1.5);
   Alcotest.(check bool) "invalid s1 rejected" true
+    (* stochlint: allow FLOAT_EQ — infinity is the documented rejection sentinel *)
     (e (-1.0) = infinity && e 0.0 = infinity && e nan = infinity)
 
 let test_objective_matches_series_formula () =

@@ -78,6 +78,7 @@ let test_infinite_mtbf_never_fails () =
   let config = Faults.make ~seed:3 (Faults.exponential ~mtbf:infinity) in
   let t = Faults.create config ~nodes:4 in
   Alcotest.(check bool) "uptime infinite" true
+    (* stochlint: allow FLOAT_EQ — infinity is the no-failure sentinel *)
     (Faults.uptime t ~node:0 = infinity);
   Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "empty trace" []
     (Faults.trace t ~node:1 ~horizon:1e6);

@@ -74,6 +74,7 @@ let prop_matches_int_sum =
       let got =
         Numerics.Kahan.sum_array (Array.of_list (List.map float_of_int xs))
       in
+      (* stochlint: allow FLOAT_EQ — small-int sums are exactly representable, equality is the property *)
       got = float_of_int expected)
 
 let () =

@@ -82,6 +82,21 @@ let test_print_allowed_in_bin () =
   let r = report ~context:Rules.Bin "print_in_lib.ml" in
   check_locs "PRINT_IN_LIB is off in executables" [] (locs r)
 
+let test_unlogged_sink () =
+  let r = report ~context:(Rules.Lib "core") "unlogged_sink.ml" in
+  check_locs "unlogged_sink findings (parameterised sinks stay legal)"
+    [
+      ("UNLOGGED_SINK", 4, 29);
+      ("UNLOGGED_SINK", 6, 32);
+      ("UNLOGGED_SINK", 8, 29);
+    ]
+    (locs r);
+  Alcotest.(check int) "escape hatch consumed" 1 r.fr_suppressed
+
+let test_unlogged_sink_off_outside_lib () =
+  let r = report ~context:Rules.Bin "unlogged_sink.ml" in
+  check_locs "UNLOGGED_SINK is off in executables" [] (locs r)
+
 (* --- suppression and clean fixtures --------------------------------- *)
 
 let test_suppressed () =
@@ -130,7 +145,9 @@ let test_severities () =
   Alcotest.(check string) "UNSEEDED_RANDOM" "error"
     (sev Finding.Unseeded_random);
   Alcotest.(check string) "EXN_IN_CORE" "warning" (sev Finding.Exn_in_core);
-  Alcotest.(check string) "PRINT_IN_LIB" "warning" (sev Finding.Print_in_lib)
+  Alcotest.(check string) "PRINT_IN_LIB" "warning" (sev Finding.Print_in_lib);
+  Alcotest.(check string) "UNLOGGED_SINK" "warning"
+    (sev Finding.Unlogged_sink)
 
 (* --- baseline filtering ---------------------------------------------- *)
 
@@ -301,6 +318,9 @@ let () =
           Alcotest.test_case "PRINT_IN_LIB golden" `Quick test_print_in_lib;
           Alcotest.test_case "PRINT_IN_LIB off in bin" `Quick
             test_print_allowed_in_bin;
+          Alcotest.test_case "UNLOGGED_SINK golden" `Quick test_unlogged_sink;
+          Alcotest.test_case "UNLOGGED_SINK off in bin" `Quick
+            test_unlogged_sink_off_outside_lib;
           Alcotest.test_case "inline suppression" `Quick test_suppressed;
           Alcotest.test_case "clean fixture" `Quick test_clean;
           Alcotest.test_case "walker skips fixtures/" `Quick

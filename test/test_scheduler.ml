@@ -288,6 +288,26 @@ let test_job_validation () =
        false
      with Stochastic_core.Sequence.Not_covered _ -> true)
 
+(* 20 equal jobs through one node: completion times are exactly
+   1, 2, ..., 20 hours, so the stretch sample is 1..20 and the
+   nearest-rank p95 must be the 19th order statistic (19.0) — the
+   interpolated type-7 quantile would report 19.05, a stretch no job
+   ever had. Handcrafted regression for Metrics.p95_stretch. *)
+let test_p95_stretch_nearest_rank () =
+  let s = Stochastic_core.Sequence.of_list [ 1.0 ] in
+  let jobs =
+    Array.init 20 (fun i -> Job.make ~id:i ~nodes:1 ~arrival:0.0 ~duration:1.0 s)
+  in
+  let result =
+    Engine.run (Engine.make_config ~nodes:1 ~policy:Policy.Fcfs ()) jobs
+  in
+  let summary = Metrics.summarize ~model:C.reservation_only result in
+  Alcotest.(check int) "all done" 20 summary.Metrics.completed;
+  Alcotest.(check (float 1e-9)) "mean stretch" 10.5 summary.Metrics.mean_stretch;
+  Alcotest.(check (float 1e-9)) "p95 stretch is an observed value" 19.0
+    summary.Metrics.p95_stretch;
+  Alcotest.(check (float 1e-9)) "max stretch" 20.0 summary.Metrics.max_stretch
+
 let () =
   Alcotest.run "scheduler"
     [
@@ -317,5 +337,7 @@ let () =
           Alcotest.test_case "oversized job rejected" `Quick
             test_engine_rejects_oversized_job;
           Alcotest.test_case "job validation" `Quick test_job_validation;
+          Alcotest.test_case "p95 stretch is nearest-rank" `Quick
+            test_p95_stretch_nearest_rank;
         ] );
     ]

@@ -28,6 +28,31 @@ let test_quantiles () =
   close "unsorted input" 2.5 (S.quantile [| 4.0; 1.0; 3.0; 2.0 |] 0.5);
   close "median helper" 2.5 (S.median xs)
 
+let test_nearest_rank () =
+  let xs = [| 3.0; 1.0; 2.0; 5.0; 4.0 |] in
+  (* rank = ceil(0.5 * 5) = 3 -> third smallest. *)
+  close "median of five" 3.0 (S.quantile_nearest_rank xs 0.5);
+  close "p = 0 clamps to the minimum" 1.0 (S.quantile_nearest_rank xs 0.0);
+  close "p = 1 is the maximum" 5.0 (S.quantile_nearest_rank xs 1.0);
+  (* The p95-stretch regression shape: 20 observations 1..20, rank =
+     ceil(0.95 * 20) = 19, so exactly the 19th order statistic — no
+     interpolation toward 20. *)
+  let ys = Array.init 20 (fun i -> float_of_int (i + 1)) in
+  close "p95 of 1..20 is the 19th value" 19.0
+    (S.quantile_nearest_rank_sorted ys 0.95);
+  close "interpolated p95 differs" 19.05 (S.quantiles_sorted ys 0.95);
+  (* Nearest-rank always returns an observed value, even on a gappy
+     two-point sample where type 7 would invent one. *)
+  close "no invented values" 100.0
+    (S.quantile_nearest_rank [| 0.0; 100.0 |] 0.95);
+  close "single element" 7.0 (S.quantile_nearest_rank [| 7.0 |] 0.3);
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Stats.quantile_nearest_rank: empty sample") (fun () ->
+      ignore (S.quantile_nearest_rank [||] 0.5));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.quantile_nearest_rank: p must be in [0, 1]")
+    (fun () -> ignore (S.quantile_nearest_rank xs 1.5))
+
 let test_min_max () =
   let mn, mx = S.min_max [| 3.0; -1.0; 7.0; 0.0 |] in
   close "min" (-1.0) mn;
@@ -93,6 +118,7 @@ let () =
           Alcotest.test_case "mean/variance" `Quick test_mean_variance;
           Alcotest.test_case "variance errors" `Quick test_variance_errors;
           Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "nearest-rank quantile" `Quick test_nearest_rank;
           Alcotest.test_case "min_max" `Quick test_min_max;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "online" `Quick test_online;
