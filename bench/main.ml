@@ -219,6 +219,165 @@ let run_obs ~out =
       Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Strategy-as-a-service daemon: N tenants with near-identical         *)
+(* LogNormal fits hammer the solve endpoint. Because the cache key     *)
+(* quantizes fitted parameters onto a relative grid, the fleet         *)
+(* collapses onto a handful of solved entries — the artefact reports   *)
+(* the measured hit rate and the cached/cold latency split that the    *)
+(* CI gate checks (hit rate >= 0.9, cached p99 at least 10x below the  *)
+(* cold p50).                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run_serve ~quick ~out =
+  section "Serve daemon: tenant fleet with near-identical LogNormal fits";
+  let module J = Stochobs.Json in
+  let tenants = if quick then 20 else 48 in
+  let rounds = 4 in
+  let samples_per_tenant = 400 in
+  let config =
+    {
+      Stochserve.Server.default_config with
+      Stochserve.Server.grid = 0.1;
+      budget = Robust.Solver.quick_budget;
+    }
+  in
+  let server = Stochserve.Server.create config in
+  let rng = Randomness.Rng.create ~seed:2024 () in
+  let num v = J.Num v in
+  (* One request line, timed; returns (latency, cached, ok). *)
+  let timed line =
+    let t0 = Unix.gettimeofday () in
+    let resp, _stop = Stochserve.Server.handle_line server line in
+    let dt = Unix.gettimeofday () -. t0 in
+    match resp with
+    | None -> (dt, false, false)
+    | Some r -> (
+        match J.of_string r with
+        | Error _ -> (dt, false, false)
+        | Ok j ->
+            let cached =
+              match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
+            in
+            let ok =
+              match J.member "ok" j with Some (J.Bool b) -> b | _ -> false
+            in
+            (dt, cached, ok))
+  in
+  (* Fit every tenant from its own jittered VBMQA-like trace: the
+     fitted (mu, sigma) differ in the third decimal, well inside one
+     0.1-grid bucket. *)
+  let base = Distributions.Lognormal.make ~mu:7.1128 ~sigma:0.2039 in
+  let fit_failures = ref 0 in
+  for t = 1 to tenants do
+    let samples =
+      Distributions.Dist.samples base (Randomness.Rng.split rng)
+        samples_per_tenant
+    in
+    let line =
+      J.to_string ~indent:false
+        (J.Obj
+           [
+             ("kind", J.Str "fit");
+             ("id", num (float_of_int t));
+             ("tenant", J.Str (Printf.sprintf "tenant-%03d" t));
+             ( "samples",
+               J.Arr (Array.to_list samples |> List.map (fun s -> num s)) );
+           ])
+    in
+    let _, _, ok = timed line in
+    if not ok then incr fit_failures
+  done;
+  (* Interleaved solve rounds over the whole fleet: round-major order,
+     so every tenant's first solve lands before any tenant's second. *)
+  let cold = ref [] and cached = ref [] in
+  let solve_failures = ref 0 in
+  for round = 1 to rounds do
+    for t = 1 to tenants do
+      let line =
+        J.to_string ~indent:false
+          (J.Obj
+             [
+               ("kind", J.Str "solve");
+               ("id", num (float_of_int ((round * 1000) + t)));
+               ( "dist",
+                 J.Obj [ ("tenant", J.Str (Printf.sprintf "tenant-%03d" t)) ]
+               );
+               ("strategy", J.Str "cascade");
+             ])
+      in
+      let dt, was_cached, ok = timed line in
+      if not ok then incr solve_failures
+      else if was_cached then cached := dt :: !cached
+      else cold := dt :: !cold
+    done
+  done;
+  let stats = Stochserve.Server.stats_json server in
+  let hit_rate =
+    match J.member "cache" stats with
+    | Some c -> (
+        match J.member "hit_rate" c with Some (J.Num v) -> v | _ -> 0.0)
+    | None -> 0.0
+  in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let cold_a = sorted !cold and cached_a = sorted !cached in
+  let cold_p50 = percentile cold_a 0.5 in
+  let cached_p50 = percentile cached_a 0.5 in
+  let cached_p99 = percentile cached_a 0.99 in
+  let total_solves = tenants * rounds in
+  Printf.printf
+    "%d tenants x %d rounds: %d cold, %d cached solves -> hit rate %.3f\n"
+    tenants rounds (List.length !cold) (List.length !cached) hit_rate;
+  Printf.printf
+    "latency: cold p50 %.3f ms, cached p50 %.4f ms, cached p99 %.4f ms\n"
+    (1e3 *. cold_p50) (1e3 *. cached_p50) (1e3 *. cached_p99);
+  report_sanity
+    [
+      ("all fits succeed", !fit_failures = 0);
+      ("all solves succeed", !solve_failures = 0);
+      ("cache hit rate >= 0.9", hit_rate >= 0.9);
+      ( "cached p99 at least 10x below cold p50",
+        cached_p99 *. 10.0 <= cold_p50 );
+    ];
+  let json =
+    J.Obj
+      [
+        ("workload", J.Str "serve tenant-fleet lognormal quick-budget");
+        ("tenants", num (float_of_int tenants));
+        ("rounds", num (float_of_int rounds));
+        ("samples_per_tenant", num (float_of_int samples_per_tenant));
+        ("grid", num config.Stochserve.Server.grid);
+        ("solve_requests", num (float_of_int total_solves));
+        ("cold_solves", num (float_of_int (List.length !cold)));
+        ("cached_solves", num (float_of_int (List.length !cached)));
+        ("hit_rate", num hit_rate);
+        ("cold_p50_seconds", num cold_p50);
+        ("cached_p50_seconds", num cached_p50);
+        ("cached_p99_seconds", num cached_p99);
+      ]
+  in
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (J.to_string json);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the individual solvers.                *)
 (* ------------------------------------------------------------------ *)
 
@@ -351,4 +510,5 @@ let () =
   if want "cluster" then run_cluster cfg ~quick;
   if want "faults" then run_faults cfg ~quick;
   if want "obs" then run_obs ~out;
+  if want "serve" then run_serve ~quick ~out;
   if want "perf" then run_perf ()

@@ -40,35 +40,17 @@ let fit_arg =
   in
   Arg.(value & flag & info [ "fit-lognormal" ] ~doc)
 
-let resolve_dist ?(hpc = false) name trace fit =
-  match trace with
-  | Some path ->
-      let data = Platform.Traces.load_csv path in
-      if fit then
-        Distributions.Fitting.(to_dist (lognormal_mle data))
-      else Distributions.Empirical.make ~name:("trace:" ^ path) data
-  | None -> (
-      match String.lowercase_ascii name with
-      (* The neuroscience traces are in seconds; the NeuroHPC cost
-         model (--hpc) is calibrated in hours, so convert when both
-         are combined. *)
-      | "vbmqa" ->
-          if hpc then Platform.Traces.(distribution_hours vbmqa)
-          else Platform.Traces.(distribution vbmqa)
-      | "fmriqa" ->
-          if hpc then Platform.Traces.(distribution_hours fmriqa)
-          else Platform.Traces.(distribution fmriqa)
-      (* Infinite variance: not in the registry (the raw solvers need
-         the Theorem 2 bounds), but exposed here to demonstrate the
-         robust solver's fallback cascade. *)
-      | "frechetheavy" -> Distributions.Frechet.heavy_tail
-      | n -> (
-          match Distributions.Registry.find n with
-          | Some d -> d
-          | None ->
-              Printf.eprintf "unknown distribution %S; available: %s\n" name
-                (String.concat ", " (Distributions.Registry.names ()));
-              exit 2))
+(* Name resolution is shared with the serve daemon's JSONL request
+   parser (Stochserve.Resolve), so the two surfaces cannot drift; the
+   CLI's contribution is mapping the Error branch to usage exit 2. *)
+let usage_exit = function
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let resolve_dist ?hpc name trace fit =
+  usage_exit (Stochserve.Resolve.dist ?hpc ?trace:trace ~fit name)
 
 let alpha_arg =
   Arg.(value & opt float 1.0 & info [ "alpha" ] ~docv:"A"
@@ -90,7 +72,7 @@ let hpc_arg =
               hours) instead of --alpha/--beta/--gamma.")
 
 let resolve_model hpc alpha beta gamma =
-  if hpc then Cost_model.neuro_hpc else Cost_model.make ~alpha ~beta ~gamma ()
+  usage_exit (Stochserve.Resolve.model ~hpc ~alpha ~beta ~gamma)
 
 let strategy_arg =
   let doc =
@@ -115,21 +97,7 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let resolve_strategy name ~m ~n ~disc_n ~seed =
-  match String.lowercase_ascii name with
-  | "brute-force" | "bruteforce" | "bf" -> Strategy.brute_force ~m ~n ~seed ()
-  | "mean-by-mean" -> Strategy.mean_by_mean
-  | "mean-stdev" -> Strategy.mean_stdev
-  | "mean-doubling" -> Strategy.mean_doubling
-  | "median-by-median" -> Strategy.median_by_median
-  | "equal-time" ->
-      Strategy.dp_discretized ~scheme:Stochastic_core.Discretize.Equal_time
-        ~n:disc_n ()
-  | "equal-probability" | "equal-prob" ->
-      Strategy.dp_discretized
-        ~scheme:Stochastic_core.Discretize.Equal_probability ~n:disc_n ()
-  | _ ->
-      Printf.eprintf "unknown strategy %S\n" name;
-      exit 2
+  usage_exit (Stochserve.Resolve.strategy ~m ~n ~disc_n ~seed name)
 
 (* ----------------------- observability flags ---------------------- *)
 
@@ -602,20 +570,7 @@ let solve_cmd =
     let tiers =
       match tiers with
       | None -> Robust.Solver.all_tiers
-      | Some names ->
-          String.split_on_char ',' names
-          |> List.map (fun t ->
-                 match String.lowercase_ascii (String.trim t) with
-                 | "brute-force" | "bruteforce" | "bf" ->
-                     Robust.Solver.Brute_force
-                 | "dp" | "equal-probability" | "equal-prob" ->
-                     Robust.Solver.Dp_equal_probability
-                 | "mean-doubling" | "doubling" -> Robust.Solver.Mean_doubling
-                 | other ->
-                     Printf.eprintf
-                       "unknown tier %S (use brute-force, dp, mean-doubling)\n"
-                       other;
-                     exit 2)
+      | Some names -> usage_exit (Stochserve.Resolve.tiers_of_string names)
     in
     with_obs obs_opts @@ fun obs ->
     match
@@ -719,6 +674,135 @@ let solve_cmd =
       $ count_arg $ strict_arg $ no_validate_arg $ exact_arg
       $ quick_budget_arg $ max_seconds_arg $ max_evals_arg $ tiers_arg
       $ obs_term)
+
+let serve_cmd =
+  let run socket capacity grid seed full_budget max_seconds max_evals obs_opts
+      =
+    let base =
+      if full_budget then Robust.Solver.default_budget
+      else Robust.Solver.quick_budget
+    in
+    let budget =
+      {
+        base with
+        Robust.Solver.max_seconds =
+          Option.value max_seconds ~default:base.Robust.Solver.max_seconds;
+        max_evaluations =
+          Option.value max_evals ~default:base.Robust.Solver.max_evaluations;
+      }
+    in
+    let config =
+      { Stochserve.Server.cache_capacity = capacity; grid; budget; seed }
+    in
+    let config = usage_exit (Stochserve.Server.check_config config) in
+    with_obs obs_opts @@ fun obs ->
+    let clock =
+      if obs_opts.fake_clock then Stochobs.Clock.fake ()
+      else Stochobs.Clock.cpu
+    in
+    let server =
+      Stochserve.Server.create ~obs ~clock ~metrics:Stochobs.Metrics.default
+        config
+    in
+    match socket with
+    | None ->
+        let recv () = In_channel.input_line stdin in
+        let send line =
+          print_string line;
+          print_newline ();
+          flush stdout
+        in
+        Stochserve.Server.serve server ~recv ~send
+    | Some path ->
+        (* Sequential accept loop: one client at a time, each pumped
+           until it hangs up. A shutdown request ends the daemon; the
+           socket file is removed on the way out. *)
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        let stopped = ref false in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close sock;
+            if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            while not !stopped do
+              let conn, _ = Unix.accept sock in
+              let ic = Unix.in_channel_of_descr conn in
+              let oc = Unix.out_channel_of_descr conn in
+              (try
+                 let rec pump () =
+                   match In_channel.input_line ic with
+                   | None -> ()
+                   | Some line ->
+                       let resp, stop =
+                         Stochserve.Server.handle_line server line
+                       in
+                       Option.iter
+                         (fun r ->
+                           output_string oc r;
+                           output_char oc '\n';
+                           flush oc)
+                         resp;
+                       if stop then stopped := true else pump ()
+                 in
+                 pump ()
+               with Sys_error _ | Unix.Unix_error _ ->
+                 (* A dropped client must not take the daemon down. *)
+                 ());
+              try Unix.close conn with Unix.Unix_error _ -> ()
+            done)
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:
+               "Listen on a Unix-domain socket at $(docv) (one client at a \
+                time) instead of reading stdin and writing stdout.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 1024
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Solved-strategy LRU cache capacity (entries).")
+  in
+  let grid_arg =
+    Arg.(value & opt float Stochserve.Quantize.default_grid
+         & info [ "grid" ] ~docv:"G"
+             ~doc:
+               "Relative quantization grid for cache keys: parameters within \
+                a factor of (1+$(docv)) land in the same bucket, so \
+                near-identical tenant fits share one solved entry.")
+  in
+  let full_budget_arg =
+    Arg.(value & flag
+         & info [ "full-budget" ]
+             ~doc:
+               "Base per-solve budget: start from the paper-scale default \
+                instead of the daemon's interactive quick budget. Requests \
+                can still override fields per solve.")
+  in
+  let max_seconds_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-seconds" ] ~docv:"S"
+             ~doc:"Base wall-clock guard per solve.")
+  in
+  let max_evals_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-evaluations" ] ~docv:"E"
+             ~doc:"Base evaluation budget per solve.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the strategy-as-a-service daemon: a JSONL request loop \
+          (kinds: solve, fit, stats, shutdown) over stdin/stdout or a \
+          Unix-domain socket, with a solved-strategy LRU cache keyed by \
+          quantized distribution parameters. Error responses carry the \
+          solver exit codes (2 usage, 4-7 solver taxonomy).")
+    Term.(
+      const run $ socket_arg $ capacity_arg $ grid_arg $ seed_arg
+      $ full_budget_arg $ max_seconds_arg $ max_evals_arg $ obs_term)
 
 (* Experiment commands share a tiny driver. *)
 
@@ -825,6 +909,7 @@ let main =
     [
       sequence_cmd;
       solve_cmd;
+      serve_cmd;
       check_cmd;
       evaluate_cmd;
       simulate_cmd;

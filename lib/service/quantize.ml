@@ -1,0 +1,50 @@
+let default_grid = 0.05
+
+let check_grid g =
+  if Float.is_finite g && g > 0.0 && g <= 1.0 then Ok g
+  else
+    Error
+      (Printf.sprintf "grid resolution must be finite and in (0, 1], got %g" g)
+
+let log_step grid =
+  match check_grid grid with
+  | Ok g -> log (1.0 +. g)
+  | Error msg -> invalid_arg ("Quantize: " ^ msg)
+
+let bucket ~grid v =
+  let step = log_step grid in
+  int_of_float (Float.round (log v /. step))
+
+let quantize ~grid v =
+  (* Validate the grid even on the paths that never divide by it, so a
+     bad server configuration fails loudly on the first key built. *)
+  let step = log_step grid in
+  match Float.classify_float v with
+  | FP_nan -> "nan"
+  | FP_infinite -> if v > 0.0 then "inf" else "-inf"
+  | FP_zero | FP_subnormal -> "z"
+  | FP_normal ->
+      let mag = Float.abs v in
+      let idx = int_of_float (Float.round (log mag /. step)) in
+      if v > 0.0 then Printf.sprintf "b%d" idx else Printf.sprintf "-b%d" idx
+
+let key ~grid ~family ~params ~model ~strategy ~m ~n ~disc_n ~max_evaluations
+    ~seed ~count ~exact =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (String.lowercase_ascii family);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (quantize ~grid v))
+    params;
+  let { Stochastic_core.Cost_model.alpha; beta; gamma } = model in
+  Buffer.add_string buf
+    (Printf.sprintf "|alpha=%s|beta=%s|gamma=%s" (quantize ~grid alpha)
+       (quantize ~grid beta) (quantize ~grid gamma));
+  Buffer.add_string buf
+    (Printf.sprintf "|s=%s|m=%d|n=%d|k=%d|e=%d|seed=%d|count=%d|exact=%b"
+       (String.lowercase_ascii strategy)
+       m n disc_n max_evaluations seed count exact);
+  Buffer.contents buf

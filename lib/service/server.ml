@@ -1,0 +1,362 @@
+module J = Stochobs.Json
+module Trace = Stochobs.Trace
+module M = Stochobs.Metrics
+module Dist = Distributions.Dist
+module Solver = Robust.Solver
+
+type config = {
+  cache_capacity : int;
+  grid : float;
+  budget : Solver.budget;
+  seed : int;
+}
+
+let default_config =
+  {
+    cache_capacity = 1024;
+    grid = Quantize.default_grid;
+    budget = Solver.quick_budget;
+    seed = 42;
+  }
+
+let check_config config =
+  if config.cache_capacity < 1 then
+    Error
+      (Printf.sprintf "cache capacity must be >= 1, got %d"
+         config.cache_capacity)
+  else
+    match Quantize.check_grid config.grid with
+    | Error msg -> Error msg
+    | Ok _ -> Ok config
+
+type counters = {
+  mutable solve : int;
+  mutable fit : int;
+  mutable stats : int;
+  mutable shutdown : int;
+  mutable errors : int;
+}
+
+type t = {
+  config : config;
+  obs : Trace.sink;
+  clock : Stochobs.Clock.t;
+  registry : M.t;
+  cache : Protocol.solved Cache.t;
+  tenants : Tenants.t;
+  requests : counters;
+  start : float;
+  (* Registry instruments, registered once at creation. *)
+  m_hits : M.counter;
+  m_misses : M.counter;
+  m_evictions : M.counter;
+  m_cold : M.counter;
+  m_errors : M.counter;
+  m_size : M.gauge;
+  m_latency : M.histogram;
+}
+
+let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
+    ?(metrics = M.default) config =
+  (match check_config config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Server.create: " ^ msg));
+  {
+    config;
+    obs;
+    clock;
+    registry = metrics;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    tenants = Tenants.create ();
+    requests = { solve = 0; fit = 0; stats = 0; shutdown = 0; errors = 0 };
+    start = clock ();
+    m_hits = M.counter metrics "service.cache.hits";
+    m_misses = M.counter metrics "service.cache.misses";
+    m_evictions = M.counter metrics "service.cache.evictions";
+    m_cold = M.counter metrics "service.solves.cold";
+    m_errors = M.counter metrics "service.requests.errors";
+    m_size = M.gauge metrics "service.cache.size";
+    m_latency =
+      M.histogram metrics "service.request.seconds"
+        ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |];
+  }
+
+(* --------------------------- solve handling ------------------------ *)
+
+(* Resolve the request's distribution spec to a live distribution plus
+   the (family, params) pair that keys the cache. Named registry
+   distributions are fixed instantiations, so they key on the name
+   alone; explicit and tenant-fitted LogNormals key on their quantized
+   parameters — that collapse is the whole point of the service. *)
+let resolve_dist t ~hpc (spec : Protocol.dist_spec) =
+  match spec with
+  | Protocol.Named name -> (
+      match Resolve.dist ~hpc name with
+      | Ok d -> Ok (d, "named:" ^ String.lowercase_ascii name, [])
+      | Error msg -> Error (Protocol.usage_error msg))
+  | Protocol.Lognormal { mu; sigma } -> (
+      match Distributions.Lognormal.make ~mu ~sigma with
+      | d -> Ok (d, "lognormal", [ ("mu", mu); ("sigma", sigma) ])
+      | exception Invalid_argument msg ->
+          Error (Protocol.invalid_distribution_error msg))
+  | Protocol.Tenant id -> (
+      match Tenants.find t.tenants id with
+      | Some fit -> (
+          match Distributions.Lognormal.make ~mu:fit.mu ~sigma:fit.sigma with
+          | d ->
+              Ok (d, "lognormal", [ ("mu", fit.mu); ("sigma", fit.sigma) ])
+          | exception Invalid_argument msg ->
+              Error (Protocol.invalid_distribution_error msg))
+      | None ->
+          Error
+            (Protocol.usage_error
+               (Printf.sprintf
+                  "unknown tenant %S (send a fit request first)" id)))
+
+let resolve_model (spec : Protocol.model_spec) =
+  match spec with
+  | Protocol.Hpc -> Ok Stochastic_core.Cost_model.neuro_hpc
+  | Protocol.Affine { alpha; beta; gamma } -> (
+      match Resolve.model ~hpc:false ~alpha ~beta ~gamma with
+      | Ok m -> Ok m
+      | Error msg -> Error { Protocol.code = 7; label = "invalid-parameter";
+                             detail = msg })
+
+let budget_of t (b : Protocol.budget_spec) =
+  let base = t.config.budget in
+  {
+    Solver.bf_candidates = Option.value b.m ~default:base.Solver.bf_candidates;
+    mc_samples = Option.value b.n ~default:base.Solver.mc_samples;
+    dp_points = Option.value b.disc_n ~default:base.Solver.dp_points;
+    max_seconds = Option.value b.max_seconds ~default:base.Solver.max_seconds;
+    max_evaluations =
+      Option.value b.max_evaluations ~default:base.Solver.max_evaluations;
+  }
+
+let head_prefix ~count head =
+  if Array.length head <= count then head else Array.sub head 0 count
+
+(* Heuristic strategies outside the robust cascade: build and evaluate
+   directly, converting any escape into a typed non-convergence. The
+   daemon must answer with a structured error, never die. *)
+let solve_direct strategy model d ~count =
+  match
+    let seq = strategy.Stochastic_core.Strategy.build model d in
+    let head = Array.of_list (Stochastic_core.Sequence.take count seq) in
+    let cost = Stochastic_core.Expected_cost.exact model d seq in
+    (head, cost)
+  with
+  | head, cost when Float.is_finite cost ->
+      Ok
+        {
+          Protocol.dist_name = d.Dist.name;
+          tier = strategy.Stochastic_core.Strategy.name;
+          degraded = false;
+          head;
+          cost;
+          normalized = Stochastic_core.Expected_cost.normalized model d ~cost;
+        }
+  | _, cost ->
+      Error
+        (Protocol.error_of_solver
+           (Solver.Non_convergent
+              {
+                stage = strategy.Stochastic_core.Strategy.name;
+                detail = Printf.sprintf "non-finite expected cost %g" cost;
+              }))
+  | exception e ->
+      Error
+        (Protocol.error_of_solver
+           (Solver.Non_convergent
+              {
+                stage = strategy.Stochastic_core.Strategy.name;
+                detail = Printexc.to_string e;
+              }))
+
+let solve_cold t (s : Protocol.solve) model d ~budget ~seed =
+  match Resolve.tiers_of_strategy s.Protocol.strategy with
+  | Some tiers -> (
+      match
+        Solver.solve ~obs:t.obs ~budget ~tiers ~exact:s.Protocol.exact ~seed
+          model d
+      with
+      | Ok sol ->
+          Ok
+            {
+              Protocol.dist_name = d.Dist.name;
+              tier = Solver.tier_name sol.Solver.diagnostics.Solver.chosen;
+              degraded = Solver.degraded sol;
+              head = head_prefix ~count:s.Protocol.count sol.Solver.head;
+              cost = sol.Solver.cost;
+              normalized = sol.Solver.normalized;
+            }
+      | Error e -> Error (Protocol.error_of_solver e))
+  | None -> (
+      let b = budget in
+      match
+        Resolve.strategy ~m:b.Solver.bf_candidates ~n:b.Solver.mc_samples
+          ~disc_n:b.Solver.dp_points ~seed s.Protocol.strategy
+      with
+      | Error msg -> Error (Protocol.usage_error msg)
+      | Ok strategy -> solve_direct strategy model d ~count:s.Protocol.count)
+
+let handle_solve t ~id (s : Protocol.solve) =
+  let hpc = match s.Protocol.model with Protocol.Hpc -> true | _ -> false in
+  let result =
+    match resolve_dist t ~hpc s.Protocol.dist with
+    | Error e -> Error e
+    | Ok (d, family, params) -> (
+        match resolve_model s.Protocol.model with
+        | Error e -> Error e
+        | Ok model ->
+            let budget = budget_of t s.Protocol.budget in
+            let seed = Option.value s.Protocol.seed ~default:t.config.seed in
+            let key =
+              Quantize.key ~grid:t.config.grid ~family ~params ~model
+                ~strategy:s.Protocol.strategy ~m:budget.Solver.bf_candidates
+                ~n:budget.Solver.mc_samples ~disc_n:budget.Solver.dp_points
+                ~max_evaluations:budget.Solver.max_evaluations ~seed
+                ~count:s.Protocol.count ~exact:s.Protocol.exact
+            in
+            Trace.annotate t.obs [ ("key", Trace.Str key) ];
+            let answer =
+              match Cache.find t.cache key with
+              | Some solved ->
+                  M.incr t.m_hits;
+                  Trace.annotate t.obs [ ("cached", Trace.Bool true) ];
+                  Ok (true, key, solved)
+              | None -> (
+                  M.incr t.m_misses;
+                  Trace.annotate t.obs [ ("cached", Trace.Bool false) ];
+                  match solve_cold t s model d ~budget ~seed with
+                  | Error e -> Error e
+                  | Ok solved ->
+                      M.incr t.m_cold;
+                      (match Cache.put t.cache key solved with
+                      | Cache.Evicted _ -> M.incr t.m_evictions
+                      | Cache.Inserted | Cache.Replaced -> ());
+                      M.set t.m_size (float_of_int (Cache.size t.cache));
+                      Ok (false, key, solved))
+            in
+            answer)
+  in
+  match result with
+  | Ok (cached, key, solved) ->
+      Trace.annotate t.obs
+        [ ("ok", Trace.Bool true); ("tier", Trace.Str solved.Protocol.tier) ];
+      (Protocol.solve_response ~id ~cached ~key solved, false)
+  | Error e ->
+      t.requests.errors <- t.requests.errors + 1;
+      M.incr t.m_errors;
+      Trace.annotate t.obs
+        [ ("ok", Trace.Bool false); ("code", Trace.Int e.Protocol.code) ];
+      (Protocol.error_response ~id e, false)
+
+(* ---------------------------- other kinds -------------------------- *)
+
+let stats_json t =
+  let c = t.cache in
+  J.Obj
+    [
+      ("uptime_seconds", J.Num (t.clock () -. t.start));
+      ( "requests",
+        J.Obj
+          [
+            ("solve", J.Num (float_of_int t.requests.solve));
+            ("fit", J.Num (float_of_int t.requests.fit));
+            ("stats", J.Num (float_of_int t.requests.stats));
+            ("shutdown", J.Num (float_of_int t.requests.shutdown));
+            ("errors", J.Num (float_of_int t.requests.errors));
+          ] );
+      ( "cache",
+        J.Obj
+          [
+            ("size", J.Num (float_of_int (Cache.size c)));
+            ("capacity", J.Num (float_of_int (Cache.capacity c)));
+            ("hits", J.Num (float_of_int (Cache.hits c)));
+            ("misses", J.Num (float_of_int (Cache.misses c)));
+            ("evictions", J.Num (float_of_int (Cache.evictions c)));
+            ("hit_rate", J.Num (Cache.hit_rate c));
+          ] );
+      ("tenants", J.Num (float_of_int (Tenants.count t.tenants)));
+      ("metrics", M.to_json (M.snapshot t.registry));
+    ]
+
+let handle_fit t ~id ~tenant samples =
+  match Tenants.fit t.tenants ~id:tenant samples with
+  | Ok fit ->
+      Trace.annotate t.obs
+        [ ("ok", Trace.Bool true); ("tenant", Trace.Str tenant) ];
+      (Protocol.fit_response ~id ~tenant fit, false)
+  | Error msg ->
+      t.requests.errors <- t.requests.errors + 1;
+      M.incr t.m_errors;
+      let e = { Protocol.code = 7; label = "invalid-parameter"; detail = msg } in
+      Trace.annotate t.obs
+        [ ("ok", Trace.Bool false); ("code", Trace.Int e.Protocol.code) ];
+      (Protocol.error_response ~id e, false)
+
+let kind_name = function
+  | Protocol.Solve _ -> "solve"
+  | Protocol.Fit _ -> "fit"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+let count_request t = function
+  | Protocol.Solve _ -> t.requests.solve <- t.requests.solve + 1
+  | Protocol.Fit _ -> t.requests.fit <- t.requests.fit + 1
+  | Protocol.Stats -> t.requests.stats <- t.requests.stats + 1
+  | Protocol.Shutdown -> t.requests.shutdown <- t.requests.shutdown + 1
+
+let request_counter t req =
+  M.counter t.registry ("service.requests." ^ kind_name req)
+
+let dispatch t ~id req =
+  match req with
+  | Protocol.Solve s -> handle_solve t ~id s
+  | Protocol.Fit { tenant; samples } -> handle_fit t ~id ~tenant samples
+  | Protocol.Stats ->
+      Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
+      (Protocol.stats_response ~id (stats_json t), false)
+  | Protocol.Shutdown ->
+      Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
+      (Protocol.shutdown_response ~id, true)
+
+let handle_line t line =
+  if String.trim line = "" then (None, false)
+  else begin
+    let t0 = t.clock () in
+    let response, stop =
+      match Protocol.parse_request line with
+      | Error (id, e) ->
+          t.requests.errors <- t.requests.errors + 1;
+          M.incr t.m_errors;
+          Trace.with_span t.obs
+            ~attrs:[ ("kind", Trace.Str "invalid") ]
+            "service.request"
+            (fun () ->
+              Trace.annotate t.obs
+                [ ("ok", Trace.Bool false); ("code", Trace.Int e.Protocol.code) ];
+              (Protocol.error_response ~id e, false))
+      | Ok (id, req) ->
+          count_request t req;
+          M.incr (request_counter t req);
+          Trace.with_span t.obs
+            ~attrs:[ ("kind", Trace.Str (kind_name req)) ]
+            "service.request"
+            (fun () -> dispatch t ~id req)
+    in
+    M.observe t.m_latency (t.clock () -. t0);
+    (Some response, stop)
+  end
+
+let serve t ~recv ~send =
+  let rec loop () =
+    match recv () with
+    | None -> ()
+    | Some line ->
+        let response, stop = handle_line t line in
+        (match response with Some r -> send r | None -> ());
+        if not stop then loop ()
+  in
+  loop ()

@@ -1,0 +1,71 @@
+(** Strategy-as-a-service: the daemon's request loop.
+
+    A server holds the solved-strategy {!Cache} (keyed by
+    {!Quantize.key}), the {!Tenants} fit table, and per-kind request
+    counters. Transport is abstract — [serve] pulls JSONL lines from a
+    [recv] thunk and pushes response lines through a [send] function,
+    so the same core runs over stdin/stdout, a Unix-domain socket
+    connection (the CLI owns the sockets) or an in-memory list (tests,
+    bench). One request line always produces exactly one response
+    line; blank lines are ignored.
+
+    Solves go through {!Robust.Solver.solve} (strategy ["cascade"] or
+    a single tier name) so the daemon degrades instead of dying, or —
+    for the heuristic strategies outside the cascade — through a
+    guarded direct evaluation that converts any escape into a typed
+    code-5 response. Only successful solves are cached.
+
+    Observability: every request runs inside a ["service.request"]
+    span (the solver's tier spans nest under it), cache traffic and
+    request latencies feed the metrics registry
+    ([service.cache.hits/misses/evictions], [service.cache.size],
+    [service.request.seconds], [service.requests.*]), and the clock is
+    injectable, so a [--fake-clock] run produces bit-for-bit
+    reproducible traces. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries (default 1024). *)
+  grid : float;  (** Relative key-quantization grid (default 0.05). *)
+  budget : Robust.Solver.budget;
+      (** Per-solve base budget; requests override fields. *)
+  seed : int;  (** Default Monte-Carlo seed (default 42). *)
+}
+
+val default_config : config
+(** 1024 entries, grid {!Quantize.default_grid},
+    {!Robust.Solver.quick_budget} (a daemon answers interactively;
+    callers wanting paper-scale grids say so per request), seed 42. *)
+
+val check_config : config -> (config, string) result
+(** Validate capacity/grid/seed before building a server. *)
+
+type t
+
+val create :
+  ?obs:Stochobs.Trace.sink ->
+  ?clock:Stochobs.Clock.t ->
+  ?metrics:Stochobs.Metrics.t ->
+  config -> t
+(** [create config] builds a server. [obs] (default
+    {!Stochobs.Trace.null}) receives the request spans; [clock]
+    (default {!Stochobs.Clock.cpu}) times requests and the uptime
+    reported by [stats]; [metrics] (default
+    {!Stochobs.Metrics.default}) hosts the instruments.
+    @raise Invalid_argument on an invalid config (validate with
+    {!check_config} for a typed error). *)
+
+val handle_line : t -> string -> string option * bool
+(** [handle_line t line] processes one request line and returns the
+    response line (or [None] for blank input) and whether the server
+    should stop ([true] exactly after a well-formed [shutdown]
+    request). Never raises. *)
+
+val serve :
+  t -> recv:(unit -> string option) -> send:(string -> unit) -> unit
+(** Pump [recv] through {!handle_line} into [send] until end of input
+    ([recv () = None]) or a [shutdown] request. *)
+
+val stats_json : t -> Stochobs.Json.t
+(** The [stats] response payload: uptime, per-kind request counts,
+    cache size/capacity/hits/misses/evictions/hit-rate, tenant count,
+    and a snapshot of the metrics registry. *)

@@ -1,0 +1,410 @@
+(* Tests for the strategy-as-a-service layer: LRU cache semantics,
+   quantized cache keys, the JSONL protocol (including the pinned
+   solver-error → wire-code mapping), and the server's request loop
+   under a deterministic fake clock. *)
+
+module Cache = Stochserve.Cache
+module Quantize = Stochserve.Quantize
+module Protocol = Stochserve.Protocol
+module Resolve = Stochserve.Resolve
+module Server = Stochserve.Server
+module J = Stochobs.Json
+
+let str_list = Alcotest.(check (list string))
+
+(* ------------------------------ cache ----------------------------- *)
+
+let test_cache_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 1, got 0") (fun () ->
+      ignore (Cache.create ~capacity:0 : unit Cache.t));
+  let c = Cache.create ~capacity:1 in
+  Alcotest.(check int) "capacity stored" 1 (Cache.capacity c)
+
+let outcome =
+  let pp fmt = function
+    | Cache.Inserted -> Format.fprintf fmt "Inserted"
+    | Cache.Replaced -> Format.fprintf fmt "Replaced"
+    | Cache.Evicted k -> Format.fprintf fmt "Evicted %s" k
+  in
+  Alcotest.testable pp ( = )
+
+let test_cache_eviction_order () =
+  let c = Cache.create ~capacity:2 in
+  Alcotest.check outcome "a inserted" Cache.Inserted (Cache.put c "a" 1);
+  Alcotest.check outcome "b inserted" Cache.Inserted (Cache.put c "b" 2);
+  str_list "mru order" [ "b"; "a" ] (Cache.keys_mru c);
+  Alcotest.check outcome "c evicts the LRU key a" (Cache.Evicted "a")
+    (Cache.put c "c" 3);
+  str_list "a gone" [ "c"; "b" ] (Cache.keys_mru c);
+  Alcotest.(check (option int)) "a misses" None (Cache.find c "a");
+  Alcotest.(check (option int)) "b still cached" (Some 2) (Cache.find c "b")
+
+let test_cache_recency_bump () =
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.put c "a" 1);
+  ignore (Cache.put c "b" 2);
+  (* Touch [a]: now [b] is the least recently used entry. *)
+  Alcotest.(check (option int)) "hit bumps" (Some 1) (Cache.find c "a");
+  Alcotest.check outcome "c evicts b, not a" (Cache.Evicted "b")
+    (Cache.put c "c" 3);
+  str_list "survivors" [ "c"; "a" ] (Cache.keys_mru c)
+
+let test_cache_replace_and_counters () =
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.put c "a" 1);
+  Alcotest.check outcome "same key overwrites" Cache.Replaced
+    (Cache.put c "a" 10);
+  Alcotest.(check int) "size unchanged" 1 (Cache.size c);
+  Alcotest.(check (option int)) "new value" (Some 10) (Cache.find c "a");
+  ignore (Cache.find c "missing");
+  ignore (Cache.find c "a");
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  Alcotest.(check (float 1e-12)) "hit rate" (2.0 /. 3.0) (Cache.hit_rate c)
+
+(* ----------------------------- quantize ---------------------------- *)
+
+let test_grid_validation () =
+  let ok v = Result.is_ok (Quantize.check_grid v) in
+  Alcotest.(check bool) "0.05 valid" true (ok 0.05);
+  Alcotest.(check bool) "1.0 valid" true (ok 1.0);
+  Alcotest.(check bool) "zero invalid" false (ok 0.0);
+  Alcotest.(check bool) "negative invalid" false (ok (-0.1));
+  Alcotest.(check bool) "above 1 invalid" false (ok 1.5);
+  Alcotest.(check bool) "nan invalid" false (ok Float.nan)
+
+let test_quantize_tokens () =
+  let q = Quantize.quantize ~grid:0.05 in
+  Alcotest.(check string) "zero" "z" (q 0.0);
+  Alcotest.(check string) "negative zero" "z" (q (-0.0));
+  Alcotest.(check string) "inf" "inf" (q Float.infinity);
+  Alcotest.(check string) "-inf" "-inf" (q Float.neg_infinity);
+  Alcotest.(check string) "nan" "nan" (q Float.nan);
+  (* Sign is carried outside the magnitude bucket. *)
+  Alcotest.(check string) "sign prefix"
+    ("-" ^ q 3.0)
+    (q (-3.0));
+  (* Values within a bucket share a token; far apart values do not. *)
+  Alcotest.(check string) "nearby collapse" (q 100.0) (q 100.5);
+  Alcotest.(check bool) "distant split" false
+    (String.equal (q 100.0) (q 200.0))
+
+let lognormal_key ~grid ~mu ~sigma =
+  Quantize.key ~grid ~family:"lognormal"
+    ~params:[ ("mu", mu); ("sigma", sigma) ]
+    ~model:Stochastic_core.Cost_model.reservation_only ~strategy:"cascade"
+    ~m:300 ~n:200 ~disc_n:200 ~max_evaluations:200_000 ~seed:42 ~count:10
+    ~exact:false
+
+let test_key_canonicalization () =
+  (* Two tenants fitting near-identical traces: (mu, sigma) differing
+     by ~0.1 % land in the same bucket on a 5 % grid... *)
+  let k1 = lognormal_key ~grid:0.05 ~mu:7.1128 ~sigma:0.2039 in
+  let k2 = lognormal_key ~grid:0.05 ~mu:7.1167 ~sigma:0.2041 in
+  Alcotest.(check string) "nearby fits share a key" k1 k2;
+  (* ... while parameters several buckets away must not alias. *)
+  let far = lognormal_key ~grid:0.05 ~mu:9.2 ~sigma:0.41 in
+  Alcotest.(check bool) "distant fit splits" false (String.equal k1 far);
+  (* Everything that changes the answer is part of the key. *)
+  let other_strategy =
+    Quantize.key ~grid:0.05 ~family:"lognormal"
+      ~params:[ ("mu", 7.1128); ("sigma", 0.2039) ]
+      ~model:Stochastic_core.Cost_model.reservation_only
+      ~strategy:"mean-doubling" ~m:300 ~n:200 ~disc_n:200
+      ~max_evaluations:200_000 ~seed:42 ~count:10 ~exact:false
+  in
+  Alcotest.(check bool) "strategy splits" false (String.equal k1 other_strategy)
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let parse_ok line =
+  match Protocol.parse_request line with
+  | Ok (id, req) -> (id, req)
+  | Error (_, e) -> Alcotest.failf "unexpected parse error: %s" e.detail
+
+let parse_err line =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error (id, e) -> (id, e)
+
+let test_parse_solve () =
+  let _, req =
+    parse_ok
+      {|{"kind":"solve","dist":{"family":"lognormal","mu":1.5,"sigma":0.5},
+         "model":"hpc","strategy":"bf","budget":{"m":50},"seed":7,
+         "count":3,"exact":true}|}
+  in
+  match req with
+  | Protocol.Solve s ->
+      (match s.dist with
+      | Protocol.Lognormal { mu; sigma } ->
+          Alcotest.(check (float 0.0)) "mu" 1.5 mu;
+          Alcotest.(check (float 0.0)) "sigma" 0.5 sigma
+      | _ -> Alcotest.fail "expected Lognormal dist");
+      Alcotest.(check bool) "hpc model" true (s.model = Protocol.Hpc);
+      Alcotest.(check string) "strategy" "bf" s.strategy;
+      Alcotest.(check (option int)) "budget m" (Some 50) s.budget.Protocol.m;
+      Alcotest.(check (option int)) "seed" (Some 7) s.seed;
+      Alcotest.(check int) "count" 3 s.count;
+      Alcotest.(check bool) "exact" true s.exact
+  | _ -> Alcotest.fail "expected Solve"
+
+let test_parse_defaults () =
+  let _, req = parse_ok {|{"kind":"solve","dist":{"name":"exponential"}}|} in
+  match req with
+  | Protocol.Solve s ->
+      Alcotest.(check string) "default strategy" "cascade" s.strategy;
+      Alcotest.(check int) "default count" 10 s.count;
+      Alcotest.(check bool) "default exact" false s.exact;
+      Alcotest.(check (option int)) "no seed" None s.seed
+  | _ -> Alcotest.fail "expected Solve"
+
+let test_parse_errors () =
+  let _, e = parse_err "not json at all" in
+  Alcotest.(check int) "malformed line is usage" 2 e.Protocol.code;
+  let id, e = parse_err {|{"kind":"frobnicate","id":9}|} in
+  Alcotest.(check int) "unknown kind is usage" 2 e.Protocol.code;
+  Alcotest.(check bool) "id echoed" true (id = Some (J.Num 9.0));
+  let _, e = parse_err {|{"kind":"solve"}|} in
+  Alcotest.(check int) "missing dist is usage" 2 e.Protocol.code;
+  let _, e = parse_err {|{"kind":"fit","tenant":"t","samples":[1,"x"]}|} in
+  Alcotest.(check int) "non-numeric sample is usage" 2 e.Protocol.code;
+  let _, e =
+    parse_err {|{"kind":"solve","dist":{"name":"exp"},"count":0}|}
+  in
+  Alcotest.(check int) "count below 1 is usage" 2 e.Protocol.code
+
+let test_resolve_routing () =
+  Alcotest.(check bool) "cascade routes to the full chain" true
+    (Resolve.tiers_of_strategy "cascade" = Some Robust.Solver.all_tiers);
+  Alcotest.(check bool) "bf restricts the cascade" true
+    (Resolve.tiers_of_strategy "bf" = Some [ Robust.Solver.Brute_force ]);
+  Alcotest.(check bool) "heuristics are not cascade-addressable" true
+    (Resolve.tiers_of_strategy "mean-by-mean" = None);
+  Alcotest.(check bool) "tiers list parses" true
+    (Resolve.tiers_of_string "bf, dp"
+    = Ok [ Robust.Solver.Brute_force; Robust.Solver.Dp_equal_probability ]);
+  Alcotest.(check bool) "unknown tier is an error" true
+    (Result.is_error (Resolve.tiers_of_string "bf,alphabetical"));
+  Alcotest.(check bool) "unknown strategy is an error" true
+    (Result.is_error (Resolve.strategy ~m:10 ~n:10 ~disc_n:10 ~seed:1 "nope"));
+  Alcotest.(check bool) "unknown distribution is an error" true
+    (Result.is_error (Resolve.dist "not-a-distribution"))
+
+(* The satellite contract: the daemon's error codes ARE the CLI exit
+   codes, variant by variant. If the solver taxonomy grows a case,
+   this test fails until the wire mapping catches up. *)
+let test_error_code_mapping () =
+  let report = Robust.Dist_check.run Distributions.Lognormal.default in
+  let cases =
+    [
+      (Robust.Solver.Invalid_distribution report, 4, "invalid-distribution");
+      ( Robust.Solver.Non_convergent { stage = "s"; detail = "d" },
+        5,
+        "non-convergent" );
+      ( Robust.Solver.Budget_exhausted
+          { stage = "s"; evaluations = 1; elapsed = 0.1 },
+        6,
+        "budget-exhausted" );
+      ( Robust.Solver.Invalid_parameter { name = "n"; detail = "d" },
+        7,
+        "invalid-parameter" );
+    ]
+  in
+  List.iter
+    (fun (err, code, label) ->
+      let e = Protocol.error_of_solver err in
+      Alcotest.(check int) (label ^ " code") code e.Protocol.code;
+      Alcotest.(check int)
+        (label ^ " matches CLI exit code")
+        (Robust.Solver.exit_code err)
+        e.Protocol.code;
+      Alcotest.(check string) (label ^ " label") label e.Protocol.label;
+      Alcotest.(check string)
+        (label ^ " detail")
+        (Robust.Solver.error_to_string err)
+        e.Protocol.detail)
+    cases
+
+(* ------------------------------ server ----------------------------- *)
+
+let quick_server ?obs ?clock () =
+  Server.create ?obs ?clock
+    {
+      Server.default_config with
+      Server.budget = Robust.Solver.quick_budget;
+      cache_capacity = 8;
+    }
+
+let respond server line =
+  match Server.handle_line server line with
+  | Some resp, stop -> (
+      match J.of_string resp with
+      | Ok j -> (j, stop)
+      | Error e -> Alcotest.failf "unparseable response %s: %s" resp e)
+  | None, _ -> Alcotest.fail "expected a response line"
+
+let field name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" name
+
+let test_server_cache_roundtrip () =
+  let s = quick_server () in
+  let line = {|{"kind":"solve","id":1,"dist":{"name":"lognormal"}}|} in
+  let r1, stop1 = respond s line in
+  Alcotest.(check bool) "solve does not stop the loop" false stop1;
+  Alcotest.(check bool) "first is cold" true
+    (field "cached" r1 = J.Bool false);
+  let r2, _ = respond s line in
+  Alcotest.(check bool) "second is cached" true
+    (field "cached" r2 = J.Bool true);
+  Alcotest.(check bool) "ok" true (field "ok" r2 = J.Bool true);
+  (* The cached answer is byte-identical apart from id + cached flag. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string) ("identical " ^ f)
+        (J.to_string (field f r1))
+        (J.to_string (field f r2)))
+    [ "key"; "dist"; "tier"; "sequence"; "cost"; "normalized" ]
+
+let test_server_fit_then_solve () =
+  let s = quick_server () in
+  let r, _ =
+    respond s
+      {|{"kind":"fit","id":1,"tenant":"u1",
+         "samples":[812.2,904.1,1100.0,950.5,870.3,1010.9,939.4,1002.2]}|}
+  in
+  Alcotest.(check bool) "fit ok" true (field "ok" r = J.Bool true);
+  let r, _ = respond s {|{"kind":"solve","id":2,"dist":{"tenant":"u1"}}|} in
+  Alcotest.(check bool) "tenant solve ok" true (field "ok" r = J.Bool true);
+  let r, _ = respond s {|{"kind":"solve","id":3,"dist":{"tenant":"ghost"}}|} in
+  Alcotest.(check bool) "unknown tenant fails" true
+    (field "ok" r = J.Bool false);
+  Alcotest.(check bool) "as usage error" true (field "code" r = J.Num 2.0)
+
+let test_server_error_paths () =
+  let s = quick_server () in
+  let r, stop = respond s "][" in
+  Alcotest.(check bool) "malformed does not stop" false stop;
+  Alcotest.(check bool) "malformed is code 2" true (field "code" r = J.Num 2.0);
+  let r, _ =
+    respond s {|{"kind":"solve","id":1,"dist":{"name":"exp"},
+                 "strategy":"alphabetical"}|}
+  in
+  Alcotest.(check bool) "unknown strategy is code 2" true
+    (field "code" r = J.Num 2.0);
+  let r, _ =
+    respond s
+      {|{"kind":"solve","id":2,
+         "dist":{"family":"lognormal","mu":1.0,"sigma":-2.0}}|}
+  in
+  Alcotest.(check bool) "bad sigma is invalid-distribution" true
+    (field "code" r = J.Num 4.0);
+  Alcotest.(check bool) "blank line is silent" true
+    (Server.handle_line s "   " = (None, false))
+
+let test_server_stats_and_shutdown () =
+  let s = quick_server () in
+  let solve = {|{"kind":"solve","id":1,"dist":{"name":"lognormal"}}|} in
+  ignore (respond s solve);
+  ignore (respond s solve);
+  ignore (respond s "junk");
+  let r, _ = respond s {|{"kind":"stats","id":4}|} in
+  let stats = field "stats" r in
+  let requests = field "requests" stats in
+  Alcotest.(check bool) "solve count" true (field "solve" requests = J.Num 2.0);
+  Alcotest.(check bool) "error count" true
+    (field "errors" requests = J.Num 1.0);
+  let cache = field "cache" stats in
+  Alcotest.(check bool) "one hit" true (field "hits" cache = J.Num 1.0);
+  Alcotest.(check bool) "one miss" true (field "misses" cache = J.Num 1.0);
+  let r, stop = respond s {|{"kind":"shutdown","id":5}|} in
+  Alcotest.(check bool) "shutdown acknowledged" true
+    (field "ok" r = J.Bool true);
+  Alcotest.(check bool) "shutdown stops the loop" true stop
+
+let test_serve_pump () =
+  let s = quick_server () in
+  let script =
+    ref
+      [
+        {|{"kind":"solve","id":1,"dist":{"name":"exponential"}}|};
+        "";
+        {|{"kind":"shutdown","id":2}|};
+        {|{"kind":"stats","id":3}|};
+      ]
+  in
+  let recv () =
+    match !script with
+    | [] -> None
+    | l :: rest ->
+        script := rest;
+        Some l
+  in
+  let out = ref [] in
+  Server.serve s ~recv ~send:(fun l -> out := l :: !out);
+  let lines = List.rev !out in
+  Alcotest.(check int) "shutdown halts before the stats line" 2
+    (List.length lines);
+  Alcotest.(check bool) "unconsumed input remains" true (!script <> [])
+
+(* Golden trace: one stats request under the fake clock must produce
+   these exact bytes — the reproducibility contract behind the serve
+   command's --fake-clock flag. *)
+let test_fake_clock_golden_trace () =
+  let buf = Buffer.create 256 in
+  let sink =
+    Stochobs.Trace.make
+      ~clock:(Stochobs.Clock.fake ~step:1.0 ())
+      (Stochobs.Writer.to_buffer buf)
+  in
+  let s = quick_server ~obs:sink ~clock:(Stochobs.Clock.fake ()) () in
+  ignore (Server.handle_line s {|{"kind":"stats","id":1}|});
+  let expected =
+    {|{"type": "span","name": "service.request","id": 1,"start": 0,"end": 1,"attrs": {"kind": "stats","ok": true}}
+|}
+  in
+  Alcotest.(check string) "golden request span" expected (Buffer.contents buf)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "capacity" `Quick test_cache_capacity;
+          Alcotest.test_case "eviction order" `Quick test_cache_eviction_order;
+          Alcotest.test_case "recency bump" `Quick test_cache_recency_bump;
+          Alcotest.test_case "replace and counters" `Quick
+            test_cache_replace_and_counters;
+        ] );
+      ( "quantize",
+        [
+          Alcotest.test_case "grid validation" `Quick test_grid_validation;
+          Alcotest.test_case "tokens" `Quick test_quantize_tokens;
+          Alcotest.test_case "key canonicalization" `Quick
+            test_key_canonicalization;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse solve" `Quick test_parse_solve;
+          Alcotest.test_case "parse defaults" `Quick test_parse_defaults;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "resolve routing" `Quick test_resolve_routing;
+          Alcotest.test_case "solver error codes pinned" `Quick
+            test_error_code_mapping;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache roundtrip" `Quick
+            test_server_cache_roundtrip;
+          Alcotest.test_case "fit then solve" `Quick test_server_fit_then_solve;
+          Alcotest.test_case "error paths" `Quick test_server_error_paths;
+          Alcotest.test_case "stats and shutdown" `Quick
+            test_server_stats_and_shutdown;
+          Alcotest.test_case "serve pump" `Quick test_serve_pump;
+          Alcotest.test_case "fake-clock golden trace" `Quick
+            test_fake_clock_golden_trace;
+        ] );
+    ]
