@@ -378,6 +378,146 @@ let run_serve ~quick ~out =
       Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Restart benchmark: solve a batch with --persist semantics, abandon  *)
+(* the server the way a SIGKILL would (no close), then restart from    *)
+(* the journal and replay the batch. The artefact reports the warm-    *)
+(* restart hit rate the CI chaos gate checks (>= 0.9) and the cold vs  *)
+(* warm latency split that quantifies what the journal buys.           *)
+(* ------------------------------------------------------------------ *)
+
+let run_restart ~quick ~out =
+  section "Restart: journal recovery warms the cache";
+  let module J = Stochobs.Json in
+  let entries = if quick then 12 else 32 in
+  let num v = J.Num v in
+  let config =
+    {
+      Stochserve.Server.default_config with
+      Stochserve.Server.budget = Robust.Solver.quick_budget;
+      cache_capacity = 2 * entries;
+    }
+  in
+  let lines =
+    List.init entries (fun i ->
+        J.to_string ~indent:false
+          (J.Obj
+             [
+               ("kind", J.Str "solve");
+               ("id", num (float_of_int (i + 1)));
+               ( "dist",
+                 J.Obj
+                   [
+                     ("family", J.Str "lognormal");
+                     ("mu", num (1.0 +. (0.4 *. float_of_int i)));
+                     ("sigma", num 0.25);
+                   ] );
+             ]))
+  in
+  let path = Filename.temp_file "stochserve-bench" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let timed server line =
+        let t0 = Unix.gettimeofday () in
+        let resp, _ = Stochserve.Server.handle_line server line in
+        let dt = Unix.gettimeofday () -. t0 in
+        match resp with
+        | None -> (dt, false, false)
+        | Some r -> (
+            match J.of_string r with
+            | Error _ -> (dt, false, false)
+            | Ok j ->
+                let flag name =
+                  match J.member name j with
+                  | Some (J.Bool b) -> b
+                  | _ -> false
+                in
+                (dt, flag "cached", flag "ok"))
+      in
+      (* Cold run: every cold solve is journalled; the server is then
+         abandoned without close, as an unclean death would leave it
+         (appends flush record by record). Nearby parameters can share
+         a quantized key, so the journal holds one record per distinct
+         key, not per request — [appended] is the recovery target. *)
+      let cold_times, cold_failures, appended =
+        let journal = Stochserve.Journal.open_ path in
+        let server = Stochserve.Server.create ~journal config in
+        let times, failures =
+          List.fold_left
+            (fun (times, failures) line ->
+              let dt, _, ok = timed server line in
+              ((dt :: times), if ok then failures else failures + 1))
+            ([], 0) lines
+        in
+        let appended =
+          (Stochserve.Journal.stats journal).Stochserve.Journal.appended
+        in
+        (times, failures, appended)
+      in
+      (* Restart: recover the journal into a fresh server and replay. *)
+      let journal = Stochserve.Journal.open_ path in
+      let jstats = Stochserve.Journal.stats journal in
+      let recovered = jstats.Stochserve.Journal.recovered_records in
+      let skipped = jstats.Stochserve.Journal.skipped_corrupt in
+      let server = Stochserve.Server.create ~journal config in
+      let warm_times, warm_hits, warm_failures =
+        List.fold_left
+          (fun (times, hits, failures) line ->
+            let dt, cached, ok = timed server line in
+            ( dt :: times,
+              (if cached then hits + 1 else hits),
+              if ok then failures else failures + 1 ))
+          ([], 0, 0) lines
+      in
+      Stochserve.Server.close server;
+      let sorted l =
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a
+      in
+      let cold_p50 = percentile (sorted cold_times) 0.5 in
+      let warm_p50 = percentile (sorted warm_times) 0.5 in
+      let warm_hit_rate = float_of_int warm_hits /. float_of_int entries in
+      Printf.printf
+        "%d solves (%d journalled): recovered %d (skipped %d) -> warm hit \
+         rate %.3f\n"
+        entries appended recovered skipped warm_hit_rate;
+      Printf.printf "latency: cold p50 %.3f ms, warm p50 %.4f ms\n"
+        (1e3 *. cold_p50) (1e3 *. warm_p50);
+      report_sanity
+        [
+          ("all cold solves succeed", cold_failures = 0);
+          ("all warm solves succeed", warm_failures = 0);
+          ("every record recovered", recovered = appended && skipped = 0);
+          ("warm-restart hit rate >= 0.9", warm_hit_rate >= 0.9);
+          ("warm p50 below cold p50", warm_p50 < cold_p50);
+        ];
+      let json =
+        J.Obj
+          [
+            ("workload", J.Str "restart journal-recovery lognormal batch");
+            ("entries", num (float_of_int entries));
+            ("appended", num (float_of_int appended));
+            ("recovered", num (float_of_int recovered));
+            ("skipped_corrupt", num (float_of_int skipped));
+            ("warm_hits", num (float_of_int warm_hits));
+            ("warm_hit_rate", num warm_hit_rate);
+            ("cold_p50_seconds", num cold_p50);
+            ("warm_p50_seconds", num warm_p50);
+          ]
+      in
+      match out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (J.to_string json);
+              output_char oc '\n');
+          Printf.printf "wrote %s\n" path)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the individual solvers.                *)
 (* ------------------------------------------------------------------ *)
 
@@ -511,4 +651,5 @@ let () =
   if want "faults" then run_faults cfg ~quick;
   if want "obs" then run_obs ~out;
   if want "serve" then run_serve ~quick ~out;
+  if want "restart" then run_restart ~quick ~out;
   if want "perf" then run_perf ()

@@ -676,8 +676,8 @@ let solve_cmd =
       $ obs_term)
 
 let serve_cmd =
-  let run socket capacity grid seed full_budget max_seconds max_evals obs_opts
-      =
+  let run socket capacity grid seed full_budget max_seconds max_evals persist
+      deadline obs_opts =
     let base =
       if full_budget then Robust.Solver.default_budget
       else Robust.Solver.quick_budget
@@ -692,7 +692,14 @@ let serve_cmd =
       }
     in
     let config =
-      { Stochserve.Server.cache_capacity = capacity; grid; budget; seed }
+      {
+        Stochserve.Server.default_config with
+        Stochserve.Server.cache_capacity = capacity;
+        grid;
+        budget;
+        seed;
+        deadline;
+      }
     in
     let config = usage_exit (Stochserve.Server.check_config config) in
     with_obs obs_opts @@ fun obs ->
@@ -700,58 +707,161 @@ let serve_cmd =
       if obs_opts.fake_clock then Stochobs.Clock.fake ()
       else Stochobs.Clock.cpu
     in
+    (* Writing to a hung-up client must surface as EPIPE (caught per
+       client), not kill the daemon with an unhandled SIGPIPE. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    (* SIGTERM/SIGINT request a graceful stop: finish the request in
+       flight, flush the journal, remove the socket, exit. The flag is
+       observed between requests; a blocking accept is interrupted
+       (EINTR) and re-checks it. *)
+    let stop_requested = ref false in
+    let request_stop = Sys.Signal_handle (fun _ -> stop_requested := true) in
+    (try
+       Sys.set_signal Sys.sigterm request_stop;
+       Sys.set_signal Sys.sigint request_stop
+     with Invalid_argument _ | Sys_error _ -> ());
+    let journal =
+      Option.map
+        (fun path ->
+          let j = Stochserve.Journal.open_ path in
+          let s = Stochserve.Journal.stats j in
+          if
+            s.Stochserve.Journal.recovered_records > 0
+            || s.Stochserve.Journal.skipped_corrupt > 0
+          then
+            Printf.eprintf
+              "stochastic serve: journal %s: recovered %d record(s), skipped \
+               %d corrupt\n%!"
+              path s.Stochserve.Journal.recovered_records
+              s.Stochserve.Journal.skipped_corrupt;
+          j)
+        persist
+    in
     let server =
       Stochserve.Server.create ~obs ~clock ~metrics:Stochobs.Metrics.default
-        config
+        ?journal config
     in
+    (* Hard watchdog on top of the server's cooperative deadline: the
+       solver checks its budget between candidates, so a single
+       pathological evaluation could overstay. SIGALRM at ~2x the
+       deadline converts that into a typed code-6 response. Unix lives
+       here in bin/, so the library stays deterministic. *)
+    let exception Watchdog_timeout in
+    let handle_request line =
+      match deadline with
+      | None -> Stochserve.Server.handle_line server line
+      | Some d ->
+          let fuse = (2.0 *. d) +. 0.5 in
+          let arm v =
+            ignore
+              (Unix.setitimer Unix.ITIMER_REAL
+                 { Unix.it_interval = 0.0; it_value = v })
+          in
+          let old =
+            Sys.signal Sys.sigalrm
+              (Sys.Signal_handle (fun _ -> raise Watchdog_timeout))
+          in
+          let disarm () =
+            arm 0.0;
+            Sys.set_signal Sys.sigalrm old
+          in
+          arm fuse;
+          (match Stochserve.Server.handle_line server line with
+          | resp ->
+              disarm ();
+              resp
+          | exception Watchdog_timeout ->
+              disarm ();
+              let e =
+                {
+                  Stochserve.Protocol.code = 6;
+                  label = "budget-exhausted";
+                  detail =
+                    Printf.sprintf
+                      "hard watchdog fired after %.3gs (deadline %gs)" fuse d;
+                }
+              in
+              (Some (Stochserve.Protocol.error_response ~id:None e), false))
+    in
+    let finish () = Stochserve.Server.close server in
     match socket with
     | None ->
-        let recv () = In_channel.input_line stdin in
+        let recv () =
+          if !stop_requested then None else In_channel.input_line stdin
+        in
         let send line =
           print_string line;
           print_newline ();
           flush stdout
         in
-        Stochserve.Server.serve server ~recv ~send
+        Fun.protect ~finally:finish (fun () ->
+            try
+              let rec loop () =
+                match recv () with
+                | None -> ()
+                | Some line ->
+                    let resp, stop = handle_request line in
+                    Option.iter send resp;
+                    if not stop then loop ()
+              in
+              loop ()
+            with Sys_error _ ->
+              (* An interrupted stdin read during shutdown. *)
+              ())
     | Some path ->
         (* Sequential accept loop: one client at a time, each pumped
-           until it hangs up. A shutdown request ends the daemon; the
-           socket file is removed on the way out. *)
-        if Sys.file_exists path then Sys.remove path;
+           until it hangs up. A shutdown request or a SIGTERM/SIGINT
+           ends the daemon; the socket file is removed on the way out,
+           and a stale one from an unclean death is removed on the way
+           in. *)
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
         let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.bind sock (Unix.ADDR_UNIX path);
         Unix.listen sock 8;
         let stopped = ref false in
+        (* Retry EINTR: any signal delivery interrupts accept; only a
+           stop request should end the loop. *)
+        let rec accept_retry () =
+          if !stop_requested then None
+          else
+            match Unix.accept sock with
+            | conn -> Some conn
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry ()
+        in
         Fun.protect
           ~finally:(fun () ->
-            Unix.close sock;
-            if Sys.file_exists path then Sys.remove path)
+            finish ();
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
           (fun () ->
-            while not !stopped do
-              let conn, _ = Unix.accept sock in
-              let ic = Unix.in_channel_of_descr conn in
-              let oc = Unix.out_channel_of_descr conn in
-              (try
-                 let rec pump () =
-                   match In_channel.input_line ic with
-                   | None -> ()
-                   | Some line ->
-                       let resp, stop =
-                         Stochserve.Server.handle_line server line
-                       in
-                       Option.iter
-                         (fun r ->
-                           output_string oc r;
-                           output_char oc '\n';
-                           flush oc)
-                         resp;
-                       if stop then stopped := true else pump ()
-                 in
-                 pump ()
-               with Sys_error _ | Unix.Unix_error _ ->
-                 (* A dropped client must not take the daemon down. *)
-                 ());
-              try Unix.close conn with Unix.Unix_error _ -> ()
+            while not (!stopped || !stop_requested) do
+              match accept_retry () with
+              | None -> ()
+              | Some (conn, _) ->
+                  let ic = Unix.in_channel_of_descr conn in
+                  let oc = Unix.out_channel_of_descr conn in
+                  (try
+                     let rec pump () =
+                       match In_channel.input_line ic with
+                       | None -> ()
+                       | Some line ->
+                           let resp, stop = handle_request line in
+                           Option.iter
+                             (fun r ->
+                               output_string oc r;
+                               output_char oc '\n';
+                               flush oc)
+                             resp;
+                           if stop then stopped := true
+                           else if not !stop_requested then pump ()
+                     in
+                     pump ()
+                   with Sys_error _ | Unix.Unix_error _ ->
+                     (* A dropped client must not take the daemon
+                        down. *)
+                     ());
+                  (try Unix.close conn with Unix.Unix_error _ -> ())
             done)
   in
   let socket_arg =
@@ -792,6 +902,25 @@ let serve_cmd =
          & info [ "max-evaluations" ] ~docv:"E"
              ~doc:"Base evaluation budget per solve.")
   in
+  let persist_arg =
+    Arg.(value & opt (some string) None
+         & info [ "persist" ] ~docv:"PATH"
+             ~doc:
+               "Journal successful solves to $(docv) (checksummed \
+                append-only records) and warm the cache from it on \
+                startup. Recovery skips and counts corrupt or torn \
+                records; it never refuses to start.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:
+               "Per-request deadline in seconds: caps each solve's time \
+                budget, arms a hard SIGALRM watchdog at ~2x $(docv), and \
+                drives overload shedding (consecutive near-deadline \
+                requests switch cache misses to degraded mean-doubling \
+                answers until pressure drains).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -799,10 +928,15 @@ let serve_cmd =
           (kinds: solve, fit, stats, shutdown) over stdin/stdout or a \
           Unix-domain socket, with a solved-strategy LRU cache keyed by \
           quantized distribution parameters. Error responses carry the \
-          solver exit codes (2 usage, 4-7 solver taxonomy).")
+          solver exit codes (2 usage, 4-7 solver taxonomy). With \
+          $(b,--persist) the cache survives restarts and crashes; with \
+          $(b,--deadline) slow requests are bounded and overload sheds to \
+          degraded answers. SIGTERM/SIGINT stop the daemon gracefully \
+          (journal flushed, socket removed).")
     Term.(
       const run $ socket_arg $ capacity_arg $ grid_arg $ seed_arg
-      $ full_budget_arg $ max_seconds_arg $ max_evals_arg $ obs_term)
+      $ full_budget_arg $ max_seconds_arg $ max_evals_arg $ persist_arg
+      $ deadline_arg $ obs_term)
 
 (* Experiment commands share a tiny driver. *)
 

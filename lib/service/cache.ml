@@ -107,3 +107,13 @@ let keys_mru t =
     | Some node -> walk (node.key :: acc) node.next
   in
   walk [] t.head
+
+let bindings_lru t =
+  (* Walk from the MRU head accumulating without the final reverse:
+     the result comes out tail-first, i.e. least recently used first,
+     so replaying it through [put] reconstructs the recency order. *)
+  let rec walk acc = function
+    | None -> acc
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+  in
+  walk [] t.head

@@ -75,6 +75,22 @@ let require name opt ~what =
   | Some v -> Ok v
   | None -> Error (usage_error (Printf.sprintf "missing %s field %S" what name))
 
+(* Input hardening: a NaN or infinity in a numeric field can only be a
+   client bug (JSON cannot even spell NaN; infinities arrive as
+   overflowed literals like 1e999), and letting one through poisons
+   cache keys and solver budgets. Reject at the parse boundary with
+   the usage code instead. *)
+let finite name v ~what =
+  if Float.is_finite v then Ok v
+  else
+    Error
+      (usage_error
+         (Printf.sprintf "%s field %S must be finite, got %g" what name v))
+
+let require_finite name opt ~what =
+  let* v = require name opt ~what in
+  finite name v ~what
+
 let parse_dist j =
   match field "dist" j with
   | None -> Error (usage_error "missing solve field \"dist\"")
@@ -86,8 +102,10 @@ let parse_dist j =
       | None, None, Some family -> (
           match String.lowercase_ascii family with
           | "lognormal" ->
-              let* mu = require "mu" (num_field "mu" spec) ~what:"dist" in
-              let* sigma = require "sigma" (num_field "sigma" spec) ~what:"dist" in
+              let* mu = require_finite "mu" (num_field "mu" spec) ~what:"dist" in
+              let* sigma =
+                require_finite "sigma" (num_field "sigma" spec) ~what:"dist"
+              in
               Ok (Lognormal { mu; sigma })
           | other ->
               Error
@@ -113,25 +131,33 @@ let parse_model j =
             (usage_error
                (Printf.sprintf "unknown model name %S (use \"hpc\")" other)))
   | Some spec ->
-      let default name fallback = Option.value (num_field name spec) ~default:fallback in
-      Ok
-        (Affine
-           {
-             alpha = default "alpha" 1.0;
-             beta = default "beta" 0.0;
-             gamma = default "gamma" 0.0;
-           })
+      let default name fallback =
+        match num_field name spec with
+        | None -> Ok fallback
+        | Some v -> finite name v ~what:"model"
+      in
+      let* alpha = default "alpha" 1.0 in
+      let* beta = default "beta" 0.0 in
+      let* gamma = default "gamma" 0.0 in
+      Ok (Affine { alpha; beta; gamma })
 
 let parse_budget j =
   match field "budget" j with
   | None -> Ok empty_budget
   | Some spec ->
+      let* max_seconds =
+        match num_field "max_seconds" spec with
+        | None -> Ok None
+        | Some v ->
+            let* v = finite "max_seconds" v ~what:"budget" in
+            Ok (Some v)
+      in
       Ok
         {
           m = int_field "m" spec;
           n = int_field "n" spec;
           disc_n = int_field "disc_n" spec;
-          max_seconds = num_field "max_seconds" spec;
+          max_seconds;
           max_evaluations = int_field "max_evaluations" spec;
         }
 
@@ -166,7 +192,9 @@ let parse_fit j =
     | [] -> Ok (Array.of_list (List.rev acc))
     | item :: rest -> (
         match to_num item with
-        | Some v -> collect (v :: acc) rest
+        | Some v when Float.is_finite v -> collect (v :: acc) rest
+        | Some _ ->
+            Error (usage_error "fit samples must all be finite numbers")
         | None -> Error (usage_error "fit samples must all be numbers"))
   in
   let* samples = collect [] items in
@@ -209,6 +237,77 @@ type solved = {
   cost : float;
   normalized : float;
 }
+
+(* Journal persistence codec. Finite floats ride as JSON numbers
+   (%.17g round-trips a double exactly, so recovered entries are
+   bit-identical); the non-finite values JSON cannot spell are encoded
+   as the same tokens {!Quantize.quantize} uses. *)
+
+let float_to_json v =
+  match Float.classify_float v with
+  | FP_nan -> J.Str "nan"
+  | FP_infinite -> J.Str (if v > 0.0 then "inf" else "-inf")
+  | FP_normal | FP_subnormal | FP_zero -> J.Num v
+
+let float_of_json = function
+  | J.Num v -> Some v
+  | J.Str "nan" -> Some Float.nan
+  | J.Str "inf" -> Some Float.infinity
+  | J.Str "-inf" -> Some Float.neg_infinity
+  | _ -> None
+
+let solved_to_json s =
+  J.Obj
+    [
+      ("dist", J.Str s.dist_name);
+      ("tier", J.Str s.tier);
+      ("degraded", J.Bool s.degraded);
+      ("head", J.Arr (Array.to_list (Array.map float_to_json s.head)));
+      ("cost", float_to_json s.cost);
+      ("normalized", float_to_json s.normalized);
+    ]
+
+let solved_of_json j =
+  let missing name = Error (Printf.sprintf "solved record lacks %S" name) in
+  let* dist_name =
+    match Option.bind (field "dist" j) J.to_str with
+    | Some s -> Ok s
+    | None -> missing "dist"
+  in
+  let* tier =
+    match Option.bind (field "tier" j) J.to_str with
+    | Some s -> Ok s
+    | None -> missing "tier"
+  in
+  let* degraded =
+    match field "degraded" j with
+    | Some (J.Bool b) -> Ok b
+    | _ -> missing "degraded"
+  in
+  let* head_items =
+    match Option.bind (field "head" j) J.to_list with
+    | Some l -> Ok l
+    | None -> missing "head"
+  in
+  let rec floats acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | item :: rest -> (
+        match float_of_json item with
+        | Some v -> floats (v :: acc) rest
+        | None -> Error "solved head holds a non-number")
+  in
+  let* head = floats [] head_items in
+  let* cost =
+    match Option.bind (field "cost" j) float_of_json with
+    | Some v -> Ok v
+    | None -> missing "cost"
+  in
+  let* normalized =
+    match Option.bind (field "normalized" j) float_of_json with
+    | Some v -> Ok v
+    | None -> missing "normalized"
+  in
+  Ok { dist_name; tier; degraded; head; cost; normalized }
 
 let with_id id fields =
   match id with Some id -> ("id", id) :: fields | None -> fields

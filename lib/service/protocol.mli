@@ -100,6 +100,17 @@ type solved = {
   normalized : float;
 }
 
+val solved_to_json : solved -> Stochobs.Json.t
+(** Persistence codec for the cache journal. Finite floats are emitted
+    as JSON numbers ([%.17g] round-trips a double exactly, so a
+    recovered entry is bit-identical to the one written); NaN and the
+    infinities — unspellable in JSON — ride as the string tokens
+    ["nan"], ["inf"], ["-inf"]. *)
+
+val solved_of_json : Stochobs.Json.t -> (solved, string) result
+(** Inverse of {!solved_to_json}; [Error] names the missing or
+    ill-typed field. Never raises. *)
+
 val solve_response :
   id:Stochobs.Json.t option -> cached:bool -> key:string -> solved -> string
 val fit_response :

@@ -9,6 +9,9 @@ type config = {
   grid : float;
   budget : Solver.budget;
   seed : int;
+  deadline : float option;
+  max_line_bytes : int;
+  shed_threshold : int;
 }
 
 let default_config =
@@ -17,6 +20,9 @@ let default_config =
     grid = Quantize.default_grid;
     budget = Solver.quick_budget;
     seed = 42;
+    deadline = None;
+    max_line_bytes = 1_048_576;
+    shed_threshold = 3;
   }
 
 let check_config config =
@@ -24,6 +30,22 @@ let check_config config =
     Error
       (Printf.sprintf "cache capacity must be >= 1, got %d"
          config.cache_capacity)
+  else if
+    match config.deadline with
+    | None -> false
+    | Some d -> not (Float.is_finite d && d > 0.0)
+  then
+    Error
+      (Printf.sprintf "request deadline must be finite and > 0, got %g"
+         (Option.value config.deadline ~default:Float.nan))
+  else if config.max_line_bytes < 64 then
+    Error
+      (Printf.sprintf "max line bytes must be >= 64, got %d"
+         config.max_line_bytes)
+  else if config.shed_threshold < 1 then
+    Error
+      (Printf.sprintf "shed threshold must be >= 1, got %d"
+         config.shed_threshold)
   else
     match Quantize.check_grid config.grid with
     | Error msg -> Error msg
@@ -35,6 +57,9 @@ type counters = {
   mutable stats : int;
   mutable shutdown : int;
   mutable errors : int;
+  mutable shed : int;  (* responses answered degraded under shedding *)
+  mutable deadline_exceeded : int;
+  mutable journal_errors : int;  (* appends/compactions lost to I/O *)
 }
 
 type t = {
@@ -44,8 +69,15 @@ type t = {
   registry : M.t;
   cache : Protocol.solved Cache.t;
   tenants : Tenants.t;
+  journal : Journal.t option;
   requests : counters;
   start : float;
+  (* Overload state: consecutive near-deadline requests build
+     pressure; enough pressure flips the server into shedding mode
+     (cheap mean-doubling answers, [degraded: true] on the wire) until
+     fast requests drain it back to zero. *)
+  mutable pressure : int;
+  mutable shedding : bool;
   (* Registry instruments, registered once at creation. *)
   m_hits : M.counter;
   m_misses : M.counter;
@@ -54,22 +86,57 @@ type t = {
   m_errors : M.counter;
   m_size : M.gauge;
   m_latency : M.histogram;
+  m_j_appended : M.counter;
+  m_j_compactions : M.counter;
+  m_j_errors : M.counter;
+  m_deadline_exceeded : M.counter;
+  m_shed : M.counter;
 }
 
 let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
-    ?(metrics = M.default) config =
+    ?(metrics = M.default) ?journal config =
   (match check_config config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Server.create: " ^ msg));
+  let cache = Cache.create ~capacity:config.cache_capacity in
+  (* Warm the cache from the journal before taking requests: replay in
+     append order, so a later record for the same key wins and the
+     recency order matches the writing server's. *)
+  (match journal with
+  | None -> ()
+  | Some j ->
+      List.iter
+        (fun { Journal.key; solved } -> ignore (Cache.put cache key solved))
+        (Journal.recovered j);
+      let s = Journal.stats j in
+      M.add
+        (M.counter metrics "service.journal.recovered")
+        s.Journal.recovered_records;
+      M.add
+        (M.counter metrics "service.journal.skipped")
+        s.Journal.skipped_corrupt);
   {
     config;
     obs;
     clock;
     registry = metrics;
-    cache = Cache.create ~capacity:config.cache_capacity;
+    cache;
     tenants = Tenants.create ();
-    requests = { solve = 0; fit = 0; stats = 0; shutdown = 0; errors = 0 };
+    journal;
+    requests =
+      {
+        solve = 0;
+        fit = 0;
+        stats = 0;
+        shutdown = 0;
+        errors = 0;
+        shed = 0;
+        deadline_exceeded = 0;
+        journal_errors = 0;
+      };
     start = clock ();
+    pressure = 0;
+    shedding = false;
     m_hits = M.counter metrics "service.cache.hits";
     m_misses = M.counter metrics "service.cache.misses";
     m_evictions = M.counter metrics "service.cache.evictions";
@@ -79,7 +146,25 @@ let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
     m_latency =
       M.histogram metrics "service.request.seconds"
         ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |];
+    m_j_appended = M.counter metrics "service.journal.appended";
+    m_j_compactions = M.counter metrics "service.journal.compactions";
+    m_j_errors = M.counter metrics "service.journal.errors";
+    m_deadline_exceeded = M.counter metrics "service.deadline.exceeded";
+    m_shed = M.counter metrics "service.shed.responses";
   }
+
+let shedding t = t.shedding
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      (* Graceful shutdown: make sure every record is on disk. A
+         failure here must not mask the shutdown itself. *)
+      try
+        Journal.flush j;
+        Journal.close j
+      with Sys_error _ -> t.requests.journal_errors <- t.requests.journal_errors + 1)
 
 (* --------------------------- solve handling ------------------------ *)
 
@@ -200,6 +285,50 @@ let solve_cold t (s : Protocol.solve) model d ~budget ~seed =
       | Error msg -> Error (Protocol.usage_error msg)
       | Ok strategy -> solve_direct strategy model d ~count:s.Protocol.count)
 
+(* Under shedding pressure, a cache miss is answered by the cheapest
+   tier alone — mean doubling needs only the distribution's mean — and
+   the response is branded [degraded: true]. Shed answers are never
+   cached or journalled: once pressure drains, the same request gets
+   (and persists) the full-quality answer. *)
+let solve_shed t (s : Protocol.solve) model d ~budget ~seed =
+  match
+    Solver.solve ~obs:t.obs ~budget ~tiers:[ Solver.Mean_doubling ]
+      ~exact:s.Protocol.exact ~seed model d
+  with
+  | Ok sol ->
+      Ok
+        {
+          Protocol.dist_name = d.Dist.name;
+          tier = Solver.tier_name sol.Solver.diagnostics.Solver.chosen;
+          degraded = true;
+          head = head_prefix ~count:s.Protocol.count sol.Solver.head;
+          cost = sol.Solver.cost;
+          normalized = sol.Solver.normalized;
+        }
+  | Error e -> Error (Protocol.error_of_solver e)
+
+(* Persist a freshly solved entry; a journal that cannot be written
+   degrades to serving without persistence, never to dying. *)
+let journal_put t key solved =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      try
+        Journal.append j { Journal.key; solved };
+        M.incr t.m_j_appended;
+        if Journal.should_compact j ~live:(Cache.size t.cache) then begin
+          let live =
+            List.map
+              (fun (key, solved) -> { Journal.key; solved })
+              (Cache.bindings_lru t.cache)
+          in
+          Journal.compact j ~live;
+          M.incr t.m_j_compactions
+        end
+      with Sys_error _ ->
+        t.requests.journal_errors <- t.requests.journal_errors + 1;
+        M.incr t.m_j_errors)
+
 let handle_solve t ~id (s : Protocol.solve) =
   let hpc = match s.Protocol.model with Protocol.Hpc -> true | _ -> false in
   let result =
@@ -210,6 +339,17 @@ let handle_solve t ~id (s : Protocol.solve) =
         | Error e -> Error e
         | Ok model ->
             let budget = budget_of t s.Protocol.budget in
+            (* The request deadline caps every solve's time budget:
+               clients may ask for more, the watchdog wins. *)
+            let budget =
+              match t.config.deadline with
+              | None -> budget
+              | Some d ->
+                  {
+                    budget with
+                    Solver.max_seconds = Float.min budget.Solver.max_seconds d;
+                  }
+            in
             let seed = Option.value s.Protocol.seed ~default:t.config.seed in
             let key =
               Quantize.key ~grid:t.config.grid ~family ~params ~model
@@ -225,6 +365,19 @@ let handle_solve t ~id (s : Protocol.solve) =
                   M.incr t.m_hits;
                   Trace.annotate t.obs [ ("cached", Trace.Bool true) ];
                   Ok (true, key, solved)
+              | None
+                when t.shedding
+                     && Option.is_some
+                          (Resolve.tiers_of_strategy s.Protocol.strategy) -> (
+                  M.incr t.m_misses;
+                  Trace.annotate t.obs
+                    [ ("cached", Trace.Bool false); ("shed", Trace.Bool true) ];
+                  match solve_shed t s model d ~budget ~seed with
+                  | Error e -> Error e
+                  | Ok solved ->
+                      t.requests.shed <- t.requests.shed + 1;
+                      M.incr t.m_shed;
+                      Ok (false, key, solved))
               | None -> (
                   M.incr t.m_misses;
                   Trace.annotate t.obs [ ("cached", Trace.Bool false) ];
@@ -236,6 +389,7 @@ let handle_solve t ~id (s : Protocol.solve) =
                       | Cache.Evicted _ -> M.incr t.m_evictions
                       | Cache.Inserted | Cache.Replaced -> ());
                       M.set t.m_size (float_of_int (Cache.size t.cache));
+                      journal_put t key solved;
                       Ok (false, key, solved))
             in
             answer)
@@ -279,6 +433,30 @@ let stats_json t =
             ("hit_rate", J.Num (Cache.hit_rate c));
           ] );
       ("tenants", J.Num (float_of_int (Tenants.count t.tenants)));
+      ( "journal",
+        match t.journal with
+        | None -> J.Obj [ ("enabled", J.Bool false) ]
+        | Some j ->
+            let s = Journal.stats j in
+            J.Obj
+              [
+                ("enabled", J.Bool true);
+                ("appended", J.Num (float_of_int s.Journal.appended));
+                ("recovered", J.Num (float_of_int s.Journal.recovered_records));
+                ( "skipped_corrupt",
+                  J.Num (float_of_int s.Journal.skipped_corrupt) );
+                ("compactions", J.Num (float_of_int s.Journal.compactions));
+                ("errors", J.Num (float_of_int t.requests.journal_errors));
+              ] );
+      ( "overload",
+        J.Obj
+          [
+            ("shedding", J.Bool t.shedding);
+            ("pressure", J.Num (float_of_int t.pressure));
+            ("shed_responses", J.Num (float_of_int t.requests.shed));
+            ( "deadline_exceeded",
+              J.Num (float_of_int t.requests.deadline_exceeded) );
+          ] );
       ("metrics", M.to_json (M.snapshot t.registry));
     ]
 
@@ -322,8 +500,42 @@ let dispatch t ~id req =
       Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
       (Protocol.shutdown_response ~id, true)
 
+(* Track the pressure state machine after each request: requests that
+   run close to the deadline build pressure, fast ones drain it.
+   Pressure is capped so a long overload episode cannot dig a hole
+   that takes arbitrarily many fast requests to climb out of. *)
+let update_pressure t ~elapsed =
+  match t.config.deadline with
+  | None -> ()
+  | Some d ->
+      if elapsed > d then begin
+        t.requests.deadline_exceeded <- t.requests.deadline_exceeded + 1;
+        M.incr t.m_deadline_exceeded
+      end;
+      if elapsed > 0.8 *. d then begin
+        t.pressure <- min (t.pressure + 1) (2 * t.config.shed_threshold);
+        if t.pressure >= t.config.shed_threshold then t.shedding <- true
+      end
+      else begin
+        t.pressure <- max 0 (t.pressure - 1);
+        if t.pressure = 0 then t.shedding <- false
+      end
+
 let handle_line t line =
-  if String.trim line = "" then (None, false)
+  if String.length line > t.config.max_line_bytes then begin
+    (* Refuse before parsing: an attacker (or a bug) streaming an
+       unbounded line must not balloon the parser. No id is echoed —
+       extracting one would mean parsing the oversized payload. *)
+    t.requests.errors <- t.requests.errors + 1;
+    M.incr t.m_errors;
+    let e =
+      Protocol.usage_error
+        (Printf.sprintf "request line of %d bytes exceeds the %d-byte limit"
+           (String.length line) t.config.max_line_bytes)
+    in
+    (Some (Protocol.error_response ~id:None e), false)
+  end
+  else if String.trim line = "" then (None, false)
   else begin
     let t0 = t.clock () in
     let response, stop =
@@ -346,7 +558,11 @@ let handle_line t line =
             "service.request"
             (fun () -> dispatch t ~id req)
     in
-    M.observe t.m_latency (t.clock () -. t0);
+    (* Clamp: a clock stepped backwards mid-request must not feed a
+       negative duration into the histogram or the pressure logic. *)
+    let elapsed = Float.max 0.0 (t.clock () -. t0) in
+    M.observe t.m_latency elapsed;
+    update_pressure t ~elapsed;
     (Some response, stop)
   end
 

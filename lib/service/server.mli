@@ -15,13 +15,23 @@
     guarded direct evaluation that converts any escape into a typed
     code-5 response. Only successful solves are cached.
 
+    Robustness: an optional {!Journal} persists successful solves and
+    warms the cache on restart; a per-request deadline clamps every
+    solve's time budget; oversized request lines are refused with a
+    typed code-2 error before parsing; and a pressure state machine
+    sheds load when consecutive requests run near the deadline,
+    answering cache misses with the mean-doubling tier alone and
+    [degraded: true] on the wire until pressure drains. Shed answers
+    are never cached or journalled.
+
     Observability: every request runs inside a ["service.request"]
     span (the solver's tier spans nest under it), cache traffic and
     request latencies feed the metrics registry
     ([service.cache.hits/misses/evictions], [service.cache.size],
-    [service.request.seconds], [service.requests.*]), and the clock is
-    injectable, so a [--fake-clock] run produces bit-for-bit
-    reproducible traces. *)
+    [service.request.seconds], [service.requests.*],
+    [service.journal.*], [service.deadline.exceeded],
+    [service.shed.responses]), and the clock is injectable, so a
+    [--fake-clock] run produces bit-for-bit reproducible traces. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries (default 1024). *)
@@ -29,15 +39,26 @@ type config = {
   budget : Robust.Solver.budget;
       (** Per-solve base budget; requests override fields. *)
   seed : int;  (** Default Monte-Carlo seed (default 42). *)
+  deadline : float option;
+      (** Per-request deadline in seconds (default [None]). Clamps
+          each solve's [max_seconds] and drives overload shedding. *)
+  max_line_bytes : int;
+      (** Request lines longer than this are refused with a code-2
+          error before parsing (default 1 MiB, minimum 64). *)
+  shed_threshold : int;
+      (** Consecutive near-deadline requests before the server enters
+          shedding mode (default 3, minimum 1). *)
 }
 
 val default_config : config
 (** 1024 entries, grid {!Quantize.default_grid},
     {!Robust.Solver.quick_budget} (a daemon answers interactively;
-    callers wanting paper-scale grids say so per request), seed 42. *)
+    callers wanting paper-scale grids say so per request), seed 42,
+    no deadline, 1 MiB line cap, shed threshold 3. *)
 
 val check_config : config -> (config, string) result
-(** Validate capacity/grid/seed before building a server. *)
+(** Validate capacity/grid/deadline/line-cap/threshold before
+    building a server. *)
 
 type t
 
@@ -45,14 +66,27 @@ val create :
   ?obs:Stochobs.Trace.sink ->
   ?clock:Stochobs.Clock.t ->
   ?metrics:Stochobs.Metrics.t ->
+  ?journal:Journal.t ->
   config -> t
 (** [create config] builds a server. [obs] (default
     {!Stochobs.Trace.null}) receives the request spans; [clock]
     (default {!Stochobs.Clock.cpu}) times requests and the uptime
     reported by [stats]; [metrics] (default
-    {!Stochobs.Metrics.default}) hosts the instruments.
+    {!Stochobs.Metrics.default}) hosts the instruments. When [journal]
+    is given, its recovered entries are replayed into the cache before
+    the first request (append order, so recency survives the restart)
+    and every successful cold solve is appended to it; journal I/O
+    failures degrade the server to serving without persistence, they
+    never kill it.
     @raise Invalid_argument on an invalid config (validate with
     {!check_config} for a typed error). *)
+
+val shedding : t -> bool
+(** Whether the server is currently shedding load. *)
+
+val close : t -> unit
+(** Flush and close the journal, if any. Call on graceful shutdown;
+    safe when no journal is attached. Never raises. *)
 
 val handle_line : t -> string -> string option * bool
 (** [handle_line t line] processes one request line and returns the
@@ -68,4 +102,7 @@ val serve :
 val stats_json : t -> Stochobs.Json.t
 (** The [stats] response payload: uptime, per-kind request counts,
     cache size/capacity/hits/misses/evictions/hit-rate, tenant count,
-    and a snapshot of the metrics registry. *)
+    a [journal] object (enabled/appended/recovered/skipped_corrupt/
+    compactions/errors), an [overload] object (shedding/pressure/
+    shed_responses/deadline_exceeded), and a snapshot of the metrics
+    registry. *)

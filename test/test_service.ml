@@ -350,6 +350,136 @@ let test_serve_pump () =
     (List.length lines);
   Alcotest.(check bool) "unconsumed input remains" true (!script <> [])
 
+let test_reject_nonfinite_params () =
+  let s = quick_server () in
+  (* 1e999 overflows to infinity in the JSON reader; the protocol must
+     refuse it as a usage error, not hand inf to the solver. *)
+  let r, _ =
+    respond s
+      {|{"kind":"solve","id":1,
+         "dist":{"family":"lognormal","mu":1e999,"sigma":0.5}}|}
+  in
+  Alcotest.(check bool) "inf mu is code 2" true (field "code" r = J.Num 2.0);
+  let r, _ =
+    respond s
+      {|{"kind":"solve","id":2,"dist":{"name":"exp"},
+         "budget":{"max_seconds":1e999}}|}
+  in
+  Alcotest.(check bool) "inf budget is code 2" true
+    (field "code" r = J.Num 2.0);
+  let r, _ =
+    respond s {|{"kind":"fit","id":3,"tenant":"t","samples":[1.0,1e999]}|}
+  in
+  Alcotest.(check bool) "inf sample is code 2" true (field "code" r = J.Num 2.0)
+
+let test_line_length_cap () =
+  let s =
+    Server.create
+      { Server.default_config with Server.max_line_bytes = 128 }
+  in
+  let padded =
+    Printf.sprintf {|{"kind":"solve","id":1,"dist":{"name":"exp"},"pad":%S}|}
+      (String.make 200 'x')
+  in
+  let r, stop = respond s padded in
+  Alcotest.(check bool) "oversized line does not stop" false stop;
+  Alcotest.(check bool) "refused as code 2" true (field "code" r = J.Num 2.0);
+  let r, _ = respond s {|{"kind":"stats","id":2}|} in
+  let requests = field "requests" (field "stats" r) in
+  Alcotest.(check bool) "counted as an error" true
+    (field "errors" requests = J.Num 1.0)
+
+(* Overload shedding, driven by a fake clock: every request reads the
+   clock twice, so each appears to take one full step. With a deadline
+   below the step, pressure builds request by request; at the
+   threshold the server degrades cache misses to mean doubling and
+   says so on the wire. *)
+let test_overload_shedding () =
+  let s =
+    Server.create
+      ~clock:(Stochobs.Clock.fake ~step:1.0 ())
+      {
+        Server.default_config with
+        Server.budget = Robust.Solver.quick_budget;
+        deadline = Some 0.5;
+        shed_threshold = 2;
+      }
+  in
+  Alcotest.(check bool) "starts healthy" false (Server.shedding s);
+  ignore (respond s {|{"kind":"solve","id":1,"dist":{"name":"exp"}}|});
+  ignore (respond s {|{"kind":"solve","id":2,"dist":{"name":"uniform"}}|});
+  Alcotest.(check bool) "pressure reached the threshold" true
+    (Server.shedding s);
+  let r, _ = respond s {|{"kind":"solve","id":3,"dist":{"name":"lognormal"}}|} in
+  Alcotest.(check bool) "shed answer is ok" true (field "ok" r = J.Bool true);
+  Alcotest.(check bool) "shed answer is degraded" true
+    (field "degraded" r = J.Bool true);
+  Alcotest.(check bool) "mean doubling answered it" true
+    (field "tier" r = J.Str "mean-doubling");
+  (* Shed answers are not cached: the same request later must be a
+     miss (and, still shedding, again degraded). *)
+  let r, _ = respond s {|{"kind":"solve","id":4,"dist":{"name":"lognormal"}}|} in
+  Alcotest.(check bool) "shed answers are not cached" true
+    (field "cached" r = J.Bool false);
+  let r, _ = respond s {|{"kind":"stats","id":5}|} in
+  let stats = field "stats" r in
+  let overload = field "overload" stats in
+  Alcotest.(check bool) "overload reported" true
+    (field "shedding" overload = J.Bool true);
+  Alcotest.(check bool) "shed responses counted" true
+    (field "shed_responses" overload = J.Num 2.0);
+  Alcotest.(check bool) "deadline overruns counted" true
+    (match field "deadline_exceeded" overload with
+    | J.Num n -> n >= 4.0
+    | _ -> false)
+
+(* Journal wiring end to end: solves are persisted, the stats response
+   says so, and a close/reopen serves the same answers warm. *)
+let test_journal_stats_and_warm_restart () =
+  let path = Filename.temp_file "stochserve-test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let config =
+        {
+          Server.default_config with
+          Server.budget = Robust.Solver.quick_budget;
+          cache_capacity = 8;
+        }
+      in
+      let s =
+        Server.create ~journal:(Stochserve.Journal.open_ path) config
+      in
+      let solve = {|{"kind":"solve","id":1,"dist":{"name":"lognormal"}}|} in
+      let r1, _ = respond s solve in
+      ignore (respond s solve);
+      let r, _ = respond s {|{"kind":"stats","id":2}|} in
+      let journal = field "journal" (field "stats" r) in
+      Alcotest.(check bool) "journal enabled" true
+        (field "enabled" journal = J.Bool true);
+      Alcotest.(check bool) "one append (hits are not re-journalled)" true
+        (field "appended" journal = J.Num 1.0);
+      Alcotest.(check bool) "nothing skipped" true
+        (field "skipped_corrupt" journal = J.Num 0.0);
+      Server.close s;
+      let s =
+        Server.create ~journal:(Stochserve.Journal.open_ path) config
+      in
+      let r2, _ = respond s solve in
+      Alcotest.(check bool) "warm after restart" true
+        (field "cached" r2 = J.Bool true);
+      List.iter
+        (fun f ->
+          Alcotest.(check string) ("restart-identical " ^ f)
+            (J.to_string (field f r1))
+            (J.to_string (field f r2)))
+        [ "key"; "dist"; "tier"; "sequence"; "cost"; "normalized" ];
+      let r, _ = respond s {|{"kind":"stats","id":3}|} in
+      let journal = field "journal" (field "stats" r) in
+      Alcotest.(check bool) "recovery reported" true
+        (field "recovered" journal = J.Num 1.0);
+      Server.close s)
+
 (* Golden trace: one stats request under the fake clock must produce
    these exact bytes — the reproducibility contract behind the serve
    command's --fake-clock flag. *)
@@ -404,6 +534,12 @@ let () =
           Alcotest.test_case "stats and shutdown" `Quick
             test_server_stats_and_shutdown;
           Alcotest.test_case "serve pump" `Quick test_serve_pump;
+          Alcotest.test_case "non-finite parameters rejected" `Quick
+            test_reject_nonfinite_params;
+          Alcotest.test_case "line length cap" `Quick test_line_length_cap;
+          Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+          Alcotest.test_case "journal stats and warm restart" `Quick
+            test_journal_stats_and_warm_restart;
           Alcotest.test_case "fake-clock golden trace" `Quick
             test_fake_clock_golden_trace;
         ] );
