@@ -548,9 +548,73 @@ let check_cmd =
     Term.(
       const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ strict_arg)
 
+(* Two-tier spot options for `solve`: --spot-price turns the mode on;
+   the rest shape the regime. Kept in a record so the solve term stays
+   readable. *)
+type spot_opts = {
+  spot_price : float option;
+  spot_mtbf : float;
+  spot_recovery : string;
+  spot_ckpt_period : float;
+  spot_ckpt_cost : float;
+  spot_restore : float;
+}
+
+let spot_term =
+  let price =
+    Arg.(value & opt (some float) None
+         & info [ "spot-price" ] ~docv:"R"
+             ~doc:
+               "Enable the two-tier spot/on-demand solve: spot capacity \
+                costs $(docv) per on-demand hour (in (0, 1]) but is revoked \
+                by a memoryless process (see $(b,--spot-mtbf)).")
+  in
+  let mtbf =
+    Arg.(value & opt float 20.0
+         & info [ "spot-mtbf" ] ~docv:"H"
+             ~doc:
+               "Mean time between spot revocations in hours (inf = never \
+                revoked).")
+  in
+  let recovery =
+    Arg.(value & opt string "checkpoint"
+         & info [ "spot-recovery" ] ~docv:"MODE"
+             ~doc:
+               "Recovery discipline after a revocation or expiry: \
+                'checkpoint' (periodic snapshots survive) or 'restart' \
+                (from scratch, the base paper's semantics).")
+  in
+  let ckpt_period =
+    Arg.(value & opt float 1.0
+         & info [ "spot-ckpt-period" ] ~docv:"H"
+             ~doc:"Hours of useful work between snapshots.")
+  in
+  let ckpt_cost =
+    Arg.(value & opt float 0.05
+         & info [ "spot-ckpt-cost" ] ~docv:"H"
+             ~doc:"Hours to write one snapshot.")
+  in
+  let restore =
+    Arg.(value & opt float 0.05
+         & info [ "spot-restore" ] ~docv:"H"
+             ~doc:"Hours to resume from the last snapshot.")
+  in
+  Term.(
+    const (fun spot_price spot_mtbf spot_recovery spot_ckpt_period
+               spot_ckpt_cost spot_restore ->
+        {
+          spot_price;
+          spot_mtbf;
+          spot_recovery;
+          spot_ckpt_period;
+          spot_ckpt_cost;
+          spot_restore;
+        })
+    $ price $ mtbf $ recovery $ ckpt_period $ ckpt_cost $ restore)
+
 let solve_cmd =
   let run dist trace fit hpc alpha beta gamma m n disc_n seed count strict
-      no_validate exact quick max_seconds max_evals tiers obs_opts =
+      no_validate exact quick max_seconds max_evals tiers spot_opts obs_opts =
     let d = resolve_dist ~hpc dist trace fit in
     let model = resolve_model hpc alpha beta gamma in
     let base =
@@ -572,7 +636,87 @@ let solve_cmd =
       | None -> Robust.Solver.all_tiers
       | Some names -> usage_exit (Stochserve.Resolve.tiers_of_string names)
     in
+    let check_strict sol =
+      if strict && Robust.Solver.degraded sol then begin
+        (match sol.Robust.Solver.diagnostics.Robust.Solver.rejected with
+        | r :: _ ->
+            Format.eprintf
+              "strict mode: degraded to %s because %s was rejected (%s)@."
+              (Robust.Solver.tier_name
+                 sol.Robust.Solver.diagnostics.Robust.Solver.chosen)
+              (Robust.Solver.tier_name r.Robust.Solver.tier)
+              (Robust.Solver.error_to_string r.Robust.Solver.reason)
+        | [] ->
+            Format.eprintf
+              "strict mode: degraded to %s (no rejection diagnostics)@."
+              (Robust.Solver.tier_name
+                 sol.Robust.Solver.diagnostics.Robust.Solver.chosen));
+        exit 3
+      end
+    in
     with_obs obs_opts @@ fun obs ->
+    match spot_opts.spot_price with
+    | Some price_ratio -> (
+        let recovery =
+          match String.lowercase_ascii spot_opts.spot_recovery with
+          | "restart" -> Stochastic_core.Spot_cost.Restart
+          | "checkpoint" | "snapshot" ->
+              Stochastic_core.Spot_cost.Snapshot
+                {
+                  period = spot_opts.spot_ckpt_period;
+                  snapshot_cost = spot_opts.spot_ckpt_cost;
+                  restore_cost = spot_opts.spot_restore;
+                }
+          | other ->
+              Printf.eprintf
+                "unknown spot recovery %S (use checkpoint or restart)\n" other;
+              exit 2
+        in
+        match
+          Robust.Solver.solve_spot ~obs ~budget ~tiers
+            ~validate:(not no_validate) ~exact ~seed ~recovery ~price_ratio
+            ~revocation_rate:(1.0 /. spot_opts.spot_mtbf) model d
+        with
+        | Error e ->
+            Format.eprintf "spot solve failed: %a@." Robust.Solver.pp_error e;
+            exit (Robust.Solver.exit_code e)
+        | Ok sol ->
+            let module Spot_cost = Stochastic_core.Spot_cost in
+            Format.printf "distribution: %a@." Dist.pp d;
+            Format.printf "cost model:   %a@." Cost_model.pp model;
+            Format.printf "%a@." Robust.Solver.pp_diagnostics
+              sol.Robust.Solver.base.Robust.Solver.diagnostics;
+            let regime = sol.Robust.Solver.regime in
+            Format.printf
+              "spot regime:  price %.2f, revocation MTBF %.4g h, %s@."
+              regime.Spot_cost.price_ratio
+              (if regime.Spot_cost.revocation_rate > 0.0 then
+                 1.0 /. regime.Spot_cost.revocation_rate
+               else infinity)
+              (match regime.Spot_cost.recovery with
+              | Spot_cost.Restart -> "restart recovery"
+              | Spot_cost.Snapshot { period; snapshot_cost; restore_cost } ->
+                  Printf.sprintf
+                    "snapshots every %g h (write %g h, restore %g h)" period
+                    snapshot_cost restore_cost);
+            let plan = sol.Robust.Solver.plan in
+            let k = Array.length plan.Spot_cost.lengths in
+            let shown = min count k in
+            Format.printf "plan:         [";
+            for i = 0 to shown - 1 do
+              if i > 0 then Format.printf "; ";
+              Format.printf "%.4g %s"
+                plan.Spot_cost.lengths.(i)
+                (Spot_cost.tier_name plan.Spot_cost.tiers.(i))
+            done;
+            if k > shown then Format.printf "; ...";
+            Format.printf "] (%d/%d spot)@." (Spot_cost.spot_slots plan) k;
+            Format.printf
+              "expected cost: %.6f (on-demand floor %.6f, savings %.1f%%)@."
+              sol.Robust.Solver.spot_cost sol.Robust.Solver.on_demand_cost
+              (100.0 *. sol.Robust.Solver.savings);
+            check_strict sol.Robust.Solver.base)
+    | None -> (
     match
       Robust.Solver.solve ~obs ~budget ~tiers ~validate:(not no_validate)
         ~exact ~seed model d
@@ -596,24 +740,7 @@ let solve_cmd =
         Format.printf "]@.";
         Format.printf "expected cost: %.6f (normalized %.4f)@."
           sol.Robust.Solver.cost sol.Robust.Solver.normalized;
-        if strict && Robust.Solver.degraded sol then begin
-          (match sol.Robust.Solver.diagnostics.Robust.Solver.rejected with
-          | r :: _ ->
-              Format.eprintf
-                "strict mode: degraded to %s because %s was rejected (%s)@."
-                (Robust.Solver.tier_name
-                   sol.Robust.Solver.diagnostics.Robust.Solver.chosen)
-                (Robust.Solver.tier_name r.Robust.Solver.tier)
-                (Robust.Solver.error_to_string r.Robust.Solver.reason)
-          | [] ->
-              (* Degraded yet nothing recorded as rejected: still a
-                 strict-mode failure, just without a named culprit. *)
-              Format.eprintf
-                "strict mode: degraded to %s (no rejection diagnostics)@."
-                (Robust.Solver.tier_name
-                   sol.Robust.Solver.diagnostics.Robust.Solver.chosen));
-          exit 3
-        end
+        check_strict sol)
   in
   let count_arg =
     Arg.(value & opt int 10
@@ -665,15 +792,17 @@ let solve_cmd =
        ~doc:
          "Solve through the validated, budgeted fallback cascade \
           (brute-force, then equal-probability DP, then mean-doubling) and \
-          print the cascade diagnostics. Exit codes: 0 ok, 3 strict-mode \
-          degradation, 4 invalid distribution, 5 non-convergent, 6 budget \
-          exhausted, 7 invalid parameter.")
+          print the cascade diagnostics. With $(b,--spot-price) the solved \
+          head is additionally tier-assigned across revocable spot and \
+          reliable on-demand capacity (checkpoint-aware). Exit codes: 0 ok, \
+          3 strict-mode degradation, 4 invalid distribution, 5 \
+          non-convergent, 6 budget exhausted, 7 invalid parameter.")
     Term.(
       const run $ dist_arg $ input_trace_arg $ fit_arg $ hpc_arg $ alpha_arg
       $ beta_arg $ gamma_arg $ m_arg $ n_mc_arg $ disc_n_arg $ seed_arg
       $ count_arg $ strict_arg $ no_validate_arg $ exact_arg
       $ quick_budget_arg $ max_seconds_arg $ max_evals_arg $ tiers_arg
-      $ obs_term)
+      $ spot_term $ obs_term)
 
 let serve_cmd =
   let run socket capacity grid seed full_budget max_seconds max_evals persist
@@ -1036,6 +1165,44 @@ let trace_vs_fit_cmd =
     "Ablation: interpolated-trace vs LogNormal-fit strategies." (fun cfg _log ->
       Experiments.Trace_vs_fit.(to_string (run ~cfg ())))
 
+(* Not via [experiment_cmd]: quick mode also trims the Monte-Carlo
+   replication count and the assignment discretization, not just the
+   solver budget. *)
+let spot_savings_cmd =
+  let exec quick verbose obs_opts =
+    let cfg =
+      if quick then Experiments.Config.quick else Experiments.Config.paper
+    in
+    let log =
+      if verbose then
+        Stochobs.Log.make ~min_level:Stochobs.Log.Debug
+          (Stochobs.Writer.of_channel stderr)
+      else Stochobs.Log.null
+    in
+    with_obs obs_opts @@ fun obs ->
+    Stochobs.Trace.with_span obs
+      ~attrs:
+        [
+          ("experiment", Stochobs.Trace.Str "spot-savings");
+          ("quick", Stochobs.Trace.Bool quick);
+        ]
+      "experiments.run"
+    @@ fun () ->
+    let t =
+      if quick then
+        Experiments.Spot_savings.run ~cfg ~log ~ratios:[ 0.3; 0.8 ]
+          ~mc_reps:4000 ~assign_disc_n:300 ()
+      else Experiments.Spot_savings.run ~cfg ~log ()
+    in
+    print_string (Experiments.Spot_savings.to_string t)
+  in
+  Cmd.v
+    (Cmd.info "spot-savings"
+       ~doc:
+         "Sweep revocation MTBF x spot price ratio: checkpointed spot vs \
+          pure on-demand vs naive spot, with seeded Monte-Carlo validation.")
+    Term.(const exec $ quick_arg $ verbose_arg $ obs_term)
+
 let main =
   let doc = "Reservation strategies for stochastic jobs (IPDPS 2019)" in
   Cmd.group
@@ -1064,6 +1231,7 @@ let main =
       robustness_cmd;
       robust_solve_cmd;
       trace_vs_fit_cmd;
+      spot_savings_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -520,6 +520,131 @@ let solve ?(obs = Trace.null) ?(budget = default_budget) ?(tiers = all_tiers)
             in
             cascade tiers
 
+(* ------------------------------------------------------------------ *)
+(* Two-tier spot front-end: validate the (price_ratio, revocation_rate,
+   checkpoint) regime through the typed taxonomy, solve the base
+   sequence with the cascade, then run the tier-assignment pass over
+   the vetted head.                                                    *)
+
+module Spot_cost = Stochastic_core.Spot_cost
+module Spot_plan = Stochastic_core.Spot_plan
+
+let m_spot_solves =
+  Stochobs.Metrics.(counter default) "robust.solver.spot.solves"
+
+let m_spot_slots =
+  Stochobs.Metrics.(counter default) "robust.solver.spot.spot_slots"
+
+let m_spot_all_on_demand =
+  Stochobs.Metrics.(counter default) "robust.solver.spot.all_on_demand"
+
+type spot_solution = {
+  base : solution;
+  regime : Spot_cost.regime;
+  plan : Spot_cost.plan;
+  spot_cost : float;
+  on_demand_cost : float;
+  savings : float;
+  assignment_evaluations : int;
+}
+
+let spot_regime ?(recovery = Spot_cost.Restart) ~price_ratio ~revocation_rate () =
+  let bad name fmt_detail = Error (Invalid_parameter { name; detail = fmt_detail }) in
+  if not (Float.is_finite price_ratio && price_ratio > 0.0 && price_ratio <= 1.0)
+  then
+    bad "price_ratio"
+      (Printf.sprintf "must be finite in (0, 1], got %g" price_ratio)
+  else if not (Float.is_finite revocation_rate && revocation_rate >= 0.0) then
+    bad "revocation_rate"
+      (Printf.sprintf "must be finite and >= 0, got %g" revocation_rate)
+  else
+    let recovery_ok =
+      match recovery with
+      | Spot_cost.Restart -> None
+      | Spot_cost.Snapshot { period; snapshot_cost; restore_cost } ->
+          if not (Float.is_finite period && period > 0.0) then
+            Some
+              ( "checkpoint_period",
+                Printf.sprintf "must be finite and > 0, got %g" period )
+          else if not (Float.is_finite snapshot_cost && snapshot_cost >= 0.0)
+          then
+            Some
+              ( "checkpoint_cost",
+                Printf.sprintf "must be finite and >= 0, got %g" snapshot_cost )
+          else if not (Float.is_finite restore_cost && restore_cost >= 0.0) then
+            Some
+              ( "restore_cost",
+                Printf.sprintf "must be finite and >= 0, got %g" restore_cost )
+          else None
+    in
+    match recovery_ok with
+    | Some (name, detail) -> bad name detail
+    | None -> Ok (Spot_cost.make_regime ~recovery ~price_ratio ~revocation_rate ())
+
+let solve_spot ?(obs = Trace.null) ?budget ?tiers ?validate ?exact ?seed
+    ?recovery ?(disc_n = 500) ~price_ratio ~revocation_rate cost_model d =
+  if disc_n <= 0 then
+    Error
+      (Invalid_parameter
+         {
+           name = "disc_n";
+           detail = Printf.sprintf "must be positive, got %d" disc_n;
+         })
+  else
+    match spot_regime ?recovery ~price_ratio ~revocation_rate () with
+    | Error e -> Error e
+    | Ok regime -> (
+        match solve ~obs ?budget ?tiers ?validate ?exact ?seed cost_model d with
+        | Error e -> Error e
+        | Ok base -> (
+            Trace.with_span obs
+              ~attrs:
+                [
+                  ("price_ratio", Trace.Num price_ratio);
+                  ("revocation_rate", Trace.Num revocation_rate);
+                  ("slots", Trace.Int (Array.length base.head));
+                ]
+              "robust.solver.spot"
+            @@ fun () ->
+            Stochobs.Metrics.incr m_spot_solves;
+            match Spot_plan.assign ~disc_n regime cost_model d base.head with
+            | a ->
+                let slots = Spot_cost.spot_slots a.Spot_plan.plan in
+                Stochobs.Metrics.add m_spot_slots slots;
+                if slots = 0 then Stochobs.Metrics.incr m_spot_all_on_demand;
+                let savings =
+                  if a.Spot_plan.on_demand_cost > 0.0 then
+                    1.0 -. (a.Spot_plan.cost /. a.Spot_plan.on_demand_cost)
+                  else 0.0
+                in
+                Trace.annotate obs
+                  [
+                    ("spot_slots", Trace.Int slots);
+                    ("savings", Trace.Num savings);
+                  ];
+                Ok
+                  {
+                    base;
+                    regime;
+                    plan = a.Spot_plan.plan;
+                    spot_cost = a.Spot_plan.cost;
+                    on_demand_cost = a.Spot_plan.on_demand_cost;
+                    savings;
+                    assignment_evaluations = a.Spot_plan.evaluated;
+                  }
+            | exception exn ->
+                (* [assign] on a vetted head cannot raise; keep the
+                   never-raises contract anyway. *)
+                Trace.annotate obs [ ("outcome", Trace.Str "failed") ];
+                Error
+                  (Non_convergent
+                     {
+                       stage = "tier-assignment";
+                       detail =
+                         Printf.sprintf "unexpected exception %s"
+                           (Printexc.to_string exn);
+                     })))
+
 let pp_diagnostics fmt diag =
   (match diag.validation with
   | None -> Format.fprintf fmt "validation:   skipped@."

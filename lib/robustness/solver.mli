@@ -132,3 +132,56 @@ val solve :
 val pp_diagnostics : Format.formatter -> diagnostics -> unit
 (** Human-readable cascade trace: validation summary, chosen tier,
     rejected tiers with reasons, budget consumption. *)
+
+(** {2 Two-tier spot solving}
+
+    Revocation-aware tier assignment on top of the cascade: solve the
+    base sequence as usual, then choose on-demand vs spot per
+    reservation under a {!Stochastic_core.Spot_cost.regime}. *)
+
+type spot_solution = {
+  base : solution;  (** The underlying cascade solution. *)
+  regime : Stochastic_core.Spot_cost.regime;  (** The validated regime. *)
+  plan : Stochastic_core.Spot_cost.plan;  (** Tier-annotated head. *)
+  spot_cost : float;  (** Expected cost of [plan] under the regime. *)
+  on_demand_cost : float;
+      (** The all-on-demand plan under the same evaluator; [spot_cost
+          <= on_demand_cost] always (graceful degradation). *)
+  savings : float;  (** [1 - spot_cost / on_demand_cost]. *)
+  assignment_evaluations : int;  (** Candidate plans scored. *)
+}
+
+val spot_regime :
+  ?recovery:Stochastic_core.Spot_cost.recovery ->
+  price_ratio:float ->
+  revocation_rate:float ->
+  unit ->
+  (Stochastic_core.Spot_cost.regime, error) result
+(** Typed regime validation: [price_ratio] outside [(0, 1]], a
+    negative or non-finite [revocation_rate], or a bad [Snapshot]
+    field ([checkpoint_period <= 0], negative costs, non-finite
+    values) each return [Invalid_parameter] naming the field. *)
+
+val solve_spot :
+  ?obs:Stochobs.Trace.sink ->
+  ?budget:budget ->
+  ?tiers:tier list ->
+  ?validate:bool ->
+  ?exact:bool ->
+  ?seed:int ->
+  ?recovery:Stochastic_core.Spot_cost.recovery ->
+  ?disc_n:int ->
+  price_ratio:float ->
+  revocation_rate:float ->
+  Stochastic_core.Cost_model.t ->
+  Distributions.Dist.t ->
+  (spot_solution, error) result
+(** [solve_spot ~price_ratio ~revocation_rate m d] validates the spot
+    regime ({!spot_regime}), runs the base cascade ({!solve}, same
+    optional arguments), then assigns tiers over the vetted head with
+    {!Stochastic_core.Spot_plan.assign} ([disc_n], default [500],
+    sizes the assignment evaluator's discretization; [recovery]
+    defaults to [Restart]). Emits a ["robust.solver.spot"] span with
+    [spot_slots]/[savings] attributes and bumps the
+    [robust.solver.spot.*] counters ([all_on_demand] counts solves
+    that degraded to zero spot reservations). Never raises. *)

@@ -29,13 +29,40 @@ let weibull ~mtbf ~shape =
     invalid_arg "Faults.weibull: shape must be positive and finite";
   Weibull { mtbf; shape }
 
-let spot ?(burst_prob = 0.2) ?(burst_factor = 10.0) ~mtbf () =
-  check_mtbf "Faults.spot" mtbf;
-  if not (Float.is_finite burst_prob) || burst_prob < 0.0 || burst_prob >= 1.0
-  then invalid_arg "Faults.spot: burst_prob must lie in [0, 1)";
-  if not (Float.is_finite burst_factor) || burst_factor < 1.0 then
-    invalid_arg "Faults.spot: burst_factor must be >= 1";
-  Spot { mtbf; burst_prob; burst_factor }
+type param_error = { field : string; value : float; detail : string }
+
+let param_error_to_string e =
+  Printf.sprintf "Faults.spot: %s = %g: %s" e.field e.value e.detail
+
+(* Typed construction-time validation: a bad field names itself instead
+   of silently generating a degenerate trace (or a cryptic sampler
+   failure deep inside a simulation). *)
+let spot_checked ?(burst_prob = 0.2) ?(burst_factor = 10.0) ~mtbf () =
+  if Float.is_nan mtbf || mtbf <= 0.0 then
+    Error
+      {
+        field = "mtbf";
+        value = mtbf;
+        detail = "must be positive (infinity = never fails)";
+      }
+  else if not (Float.is_finite burst_prob) || burst_prob < 0.0 || burst_prob >= 1.0
+  then
+    Error
+      {
+        field = "burst_prob";
+        value = burst_prob;
+        detail =
+          "must lie in [0, 1): at 1 every gap takes the burst branch and the \
+           mixture mean cannot be normalised to the MTBF";
+      }
+  else if not (Float.is_finite burst_factor) || burst_factor < 1.0 then
+    Error { field = "burst_factor"; value = burst_factor; detail = "must be >= 1" }
+  else Ok (Spot { mtbf; burst_prob; burst_factor })
+
+let spot ?burst_prob ?burst_factor ~mtbf () =
+  match spot_checked ?burst_prob ?burst_factor ~mtbf () with
+  | Ok model -> model
+  | Error e -> invalid_arg (param_error_to_string e)
 
 let make ?(seed = 42) ?(mean_repair = 0.1) model =
   if not (Float.is_finite mean_repair) || mean_repair < 0.0 then

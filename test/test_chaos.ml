@@ -350,6 +350,88 @@ let test_retry_discipline () =
     (Invalid_argument "Chaos.with_retries: max must be >= 1") (fun () ->
       ignore (Chaos.with_retries ~max:0 (fun () -> ())))
 
+(* ------------------------------------------------------------------ *)
+(* Spot revocation mid-checkpoint: a revocation landing inside the    *)
+(* snapshot window — even while the snapshot itself is being written  *)
+(* — loses at most one checkpoint period of useful work. Every fully  *)
+(* snapshotted period before the revocation survives.                 *)
+(* ------------------------------------------------------------------ *)
+
+module Spot_cost = Stochastic_core.Spot_cost
+
+let ckpt_period = 1.0
+let ckpt_cost = 0.05
+let ckpt_restore = 0.05
+let ckpt_stride = ckpt_period +. ckpt_cost
+
+let spot_regime =
+  Spot_cost.make_regime
+    ~recovery:
+      (Spot_cost.Snapshot
+         {
+           period = ckpt_period;
+           snapshot_cost = ckpt_cost;
+           restore_cost = ckpt_restore;
+         })
+    ~price_ratio:0.3 ~revocation_rate:0.05 ()
+
+let m_hpc = Stochastic_core.Cost_model.neuro_hpc
+
+(* Revocation [delta] hours into the (c+1)-th checkpoint window of an
+   attempt resumed from [progress]: the durable gain is exactly the c
+   completed snapshots, and the wall-clock loss is bounded by one
+   stride (period + snapshot write). *)
+let revoke_in_window ~progress ~total ~completed ~delta =
+  let restore = if progress > 0.0 then ckpt_restore else 0.0 in
+  let revocation = restore +. (float_of_int completed *. ckpt_stride) +. delta in
+  let o =
+    Spot_cost.slot_outcome spot_regime m_hpc ~tier:Spot_cost.Spot ~length:1e6
+      ~progress ~total ~revocation
+  in
+  (o, revocation, restore)
+
+let test_revocation_mid_checkpoint () =
+  (* Mid-snapshot-write: 3 whole windows plus 1.02 h puts the clock
+     0.02 h into the 4th snapshot write — that period is not yet
+     durable and must be lost, but nothing else. *)
+  let o, _, _ =
+    revoke_in_window ~progress:2.0 ~total:20.0 ~completed:3 ~delta:1.02
+  in
+  Alcotest.(check bool) "revoked" true o.Spot_cost.revoked;
+  Alcotest.(check (float 1e-9)) "durable = prior + 3 periods" 5.0
+    o.Spot_cost.progress;
+  (* Just after the write completes the period is durable. *)
+  let o2, _, _ =
+    revoke_in_window ~progress:2.0 ~total:20.0 ~completed:4 ~delta:1e-9
+  in
+  Alcotest.(check (float 1e-6)) "post-write snapshot survives" 6.0
+    o2.Spot_cost.progress
+
+let prop_revocation_loses_at_most_one_period =
+  QCheck.Test.make ~count:300
+    ~name:"revocation inside any snapshot window loses < one period"
+    QCheck.(
+      quad (int_range 0 3) (int_range 0 6)
+        (float_range 0.0 (ckpt_stride -. 1e-9))
+        (float_range 10.0 50.0))
+    (fun (prior, completed, delta, total) ->
+      let progress = float_of_int prior *. ckpt_period in
+      let o, revocation, restore =
+        revoke_in_window ~progress ~total ~completed ~delta
+      in
+      let gain = o.Spot_cost.progress -. progress in
+      let wall_used = Float.max 0.0 (revocation -. restore) in
+      (* Durable gain counts every completed window (unless the job
+         needed fewer), and the un-snapshotted remainder is less than
+         one period of useful work. *)
+      let windows_needed =
+        int_of_float (ceil ((total -. progress) /. ckpt_period)) - 1
+      in
+      let expect = min completed (max 0 windows_needed) in
+      o.Spot_cost.finished
+      || (abs_float (gain -. (float_of_int expect *. ckpt_period)) < 1e-9
+         && wall_used -. (gain /. ckpt_period *. ckpt_stride) < ckpt_stride))
+
 let () =
   Alcotest.run "chaos"
     [
@@ -376,5 +458,11 @@ let () =
           Alcotest.test_case "clock jumps" `Quick test_clock_jump_survival;
           Alcotest.test_case "transient retry discipline" `Quick
             test_retry_discipline;
+        ] );
+      ( "spot-revocation",
+        [
+          Alcotest.test_case "mid-checkpoint revocation" `Quick
+            test_revocation_mid_checkpoint;
+          QCheck_alcotest.to_alcotest prop_revocation_loses_at_most_one_period;
         ] );
     ]

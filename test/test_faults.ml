@@ -85,6 +85,64 @@ let test_infinite_mtbf_never_fails () =
   Alcotest.(check (float 1e-12)) "rate zero" 0.0 (Faults.rate config)
 
 (* ------------------------------------------------------------------ *)
+(* Typed spot-parameter validation: one test per bad field.            *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let check_spot_rejects name expect_field f =
+  match f () with
+  | Ok _ -> Alcotest.failf "%s: accepted" name
+  | Error e ->
+      Alcotest.(check string) (name ^ ": field") expect_field e.Faults.field;
+      (* The rendered message carries the field, the offending value
+         and the constraint — the operator-facing contract. *)
+      let msg = Faults.param_error_to_string e in
+      Alcotest.(check bool) (name ^ ": message names field") true
+        (String.length msg > 0
+        && contains ~affix:expect_field msg)
+
+let test_spot_rejects_bad_mtbf () =
+  check_spot_rejects "mtbf zero" "mtbf" (fun () ->
+      Faults.spot_checked ~mtbf:0.0 ());
+  check_spot_rejects "mtbf negative" "mtbf" (fun () ->
+      Faults.spot_checked ~mtbf:(-5.0) ());
+  check_spot_rejects "mtbf nan" "mtbf" (fun () ->
+      Faults.spot_checked ~mtbf:Float.nan ())
+
+let test_spot_rejects_bad_burst_prob () =
+  check_spot_rejects "burst_prob negative" "burst_prob" (fun () ->
+      Faults.spot_checked ~burst_prob:(-0.1) ~mtbf:10.0 ());
+  check_spot_rejects "burst_prob one" "burst_prob" (fun () ->
+      Faults.spot_checked ~burst_prob:1.0 ~mtbf:10.0 ());
+  check_spot_rejects "burst_prob nan" "burst_prob" (fun () ->
+      Faults.spot_checked ~burst_prob:Float.nan ~mtbf:10.0 ())
+
+let test_spot_rejects_bad_burst_factor () =
+  check_spot_rejects "burst_factor below one" "burst_factor" (fun () ->
+      Faults.spot_checked ~burst_factor:0.5 ~mtbf:10.0 ());
+  check_spot_rejects "burst_factor nan" "burst_factor" (fun () ->
+      Faults.spot_checked ~burst_factor:Float.nan ~mtbf:10.0 ())
+
+let test_spot_checked_accepts_valid () =
+  (match Faults.spot_checked ~mtbf:10.0 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "defaults rejected: %s" (Faults.param_error_to_string e));
+  (* Infinite MTBF is the no-failure sentinel, and the unchecked
+     constructor raises the rendered error for bad input. *)
+  (match Faults.spot_checked ~mtbf:infinity () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "infinite mtbf rejected: %s" (Faults.param_error_to_string e));
+  match Faults.spot ~mtbf:(-1.0) () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "raise names field" true
+        (contains ~affix:"mtbf" msg)
+  | _ -> Alcotest.fail "spot ~mtbf:(-1.0) accepted"
+
+(* ------------------------------------------------------------------ *)
 (* Empirical MTBF                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,6 +338,17 @@ let () =
             test_infinite_mtbf_never_fails;
           Alcotest.test_case "empirical MTBF matches" `Quick test_empirical_mtbf;
           Alcotest.test_case "empirical repair matches" `Quick test_mean_repair;
+        ] );
+      ( "spot-params",
+        [
+          Alcotest.test_case "rejects bad mtbf" `Quick
+            test_spot_rejects_bad_mtbf;
+          Alcotest.test_case "rejects bad burst_prob" `Quick
+            test_spot_rejects_bad_burst_prob;
+          Alcotest.test_case "rejects bad burst_factor" `Quick
+            test_spot_rejects_bad_burst_factor;
+          Alcotest.test_case "accepts valid, raise names field" `Quick
+            test_spot_checked_accepts_valid;
         ] );
       ( "engine",
         [
