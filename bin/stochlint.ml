@@ -4,9 +4,10 @@
    Usage:
      stochlint [OPTIONS] [PATH...]
 
-   Paths default to lib bin test. Directories are walked recursively
-   for .ml files (skipping _build and fixtures); explicit file paths
-   are linted verbatim, fixtures included.
+   Paths default to lib bin test bench examples. Directories are
+   walked recursively for .ml and .mli files (skipping _build and
+   fixtures); explicit file paths are linted verbatim, fixtures
+   included.
 
    Options:
      --json               machine-readable report on stdout
@@ -79,7 +80,13 @@ let parse_args argv =
   in
   go (List.tl (Array.to_list argv));
   let o = !opts in
-  { o with paths = (match o.paths with [] -> [ "lib"; "bin"; "test" ] | p -> List.rev p) }
+  {
+    o with
+    paths =
+      (match o.paths with
+      | [] -> [ "lib"; "bin"; "test"; "bench"; "examples" ]
+      | p -> List.rev p);
+  }
 
 let severity_json rule =
   L.Json.Str (L.Finding.severity_to_string (L.Finding.severity rule))

@@ -82,9 +82,12 @@ let () =
       roster
   in
   let best, best_v =
-    List.fold_left
-      (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
-      (List.hd roster, infinity) scored
+    match scored with
+    | [] -> failwith "empty strategy roster"
+    | first :: rest ->
+        List.fold_left
+          (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
+          first rest
   in
   Format.printf "Winner: %s (%.3f)@." best.Strategy.name best_v;
 

@@ -16,6 +16,7 @@ let expected_cost_exp1 ~s1 =
 
 type solution = { s1 : float; e1 : float }
 
+(* stochlint: allow GLOBAL_MUT_STATE — idempotent memo of a pure parameterless solve; a racing recompute is benign *)
 let cache = ref None
 
 let solve ?(tol = 1e-10) () =

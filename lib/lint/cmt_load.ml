@@ -1,0 +1,84 @@
+(* Loading typedtrees out of the .cmt files dune's -bin-annot leaves
+   under _build. Unlike the parse-tree pass (Driver), which sees one
+   file at a time, stochdomcheck needs every compilation unit of the
+   library tree at once so cross-module references resolve. *)
+
+type unit_info = {
+  ui_name : string;  (* compilation unit, e.g. "Stochobs__Metrics" *)
+  ui_source : string;  (* build-root-relative source, e.g. "lib/obs/metrics.ml" *)
+  ui_cmt : string;  (* path the .cmt was read from *)
+  ui_structure : Typedtree.structure;
+}
+
+type load_error = { le_file : string; le_message : string }
+
+let normalise path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* Walk [root] for .cmt files. Dot-directories are NOT skipped: dune
+   hides its object trees under lib/<x>/.<lib>.objs/byte. Interfaces
+   (.cmti) and native duplicates never match — only .cmt. *)
+let find_cmts root =
+  let out = ref [] in
+  let rec walk path =
+    match Sys.is_directory path with
+    | exception Sys_error _ -> ()
+    | true ->
+        if Filename.basename path <> ".git" then
+          Array.iter
+            (fun entry -> walk (Filename.concat path entry))
+            (Sys.readdir path)
+    | false -> if Filename.check_suffix path ".cmt" then out := path :: !out
+  in
+  walk root;
+  List.sort String.compare !out
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error { le_file = path; le_message = Printexc.to_string exn }
+  | cmt -> (
+      match cmt.cmt_annots with
+      | Cmt_format.Implementation structure ->
+          let source =
+            match cmt.cmt_sourcefile with
+            | Some s -> normalise s
+            | None -> path
+          in
+          Ok
+            {
+              ui_name = cmt.cmt_modname;
+              ui_source = source;
+              ui_cmt = path;
+              ui_structure = structure;
+            }
+      | Cmt_format.Partial_implementation _ ->
+          Error
+            {
+              le_file = path;
+              le_message = "partial implementation (compilation failed?)";
+            }
+      | _ -> Error { le_file = path; le_message = "not an implementation" })
+
+(* Load every unit under [roots], deduplicating on unit name (a byte
+   and a native build can leave two identical cmts). *)
+let load_all roots =
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun root ->
+      List.iter
+        (fun cmt ->
+          match load cmt with
+          | Ok u ->
+              if not (Hashtbl.mem seen u.ui_name) then begin
+                Hashtbl.add seen u.ui_name ();
+                units := u :: !units
+              end
+          | Error e -> errors := e :: !errors)
+        (find_cmts root))
+    roots;
+  (List.rev !units, List.rev !errors)

@@ -1,0 +1,27 @@
+(** Loading typedtrees out of the [.cmt] files dune's [-bin-annot]
+    leaves under [_build]. *)
+
+type unit_info = {
+  ui_name : string;  (** compilation unit, e.g. ["Stochobs__Metrics"] *)
+  ui_source : string;
+      (** build-root-relative source path, e.g. ["lib/obs/metrics.ml"] *)
+  ui_cmt : string;  (** path the [.cmt] was read from *)
+  ui_structure : Typedtree.structure;
+}
+
+type load_error = { le_file : string; le_message : string }
+
+val find_cmts : string -> string list
+(** Recursively collect [.cmt] paths under a directory. Dot-dirs are
+    walked (dune hides object trees under [.<lib>.objs]); [.git] is
+    skipped. *)
+
+val load : string -> (unit_info, load_error) result
+(** Read one [.cmt]. Fails on wrong magic, interface-only and partial
+    implementations. *)
+
+val load_all : string list -> unit_info list * load_error list
+(** Load every unit under the given roots, first-wins deduplicated on
+    unit name. *)
+
+val normalise : string -> string

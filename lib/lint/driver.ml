@@ -36,10 +36,14 @@ let collect_files paths =
           if Sys.is_directory child then begin
             if not (List.mem entry skipped_dirs) then walk child
           end
-          else if Filename.check_suffix entry ".ml" then
-            out := normalise child :: !out)
+          else if
+            Filename.check_suffix entry ".ml"
+            || Filename.check_suffix entry ".mli"
+          then out := normalise child :: !out)
         (Sys.readdir path)
-    else if Filename.check_suffix path ".ml" then out := normalise path :: !out
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then out := normalise path :: !out
   in
   List.iter walk paths;
   List.sort_uniq String.compare !out
@@ -67,19 +71,44 @@ let parse_error_of_exn file exn =
       Some { pe_file = file; pe_line = 0; pe_col = 0; pe_message = msg }
   | _ -> None
 
+(* Interfaces carry no expressions for the rules to inspect, but an
+   unparseable .mli is exactly the kind of rot a lint pass should
+   catch (dune only compiles interfaces someone references), and a
+   malformed suppression comment in one deserves the same warning as
+   in an .ml. *)
+let lint_interface file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  ignore (Parse.interface lexbuf);
+  let sup = Suppress.scan source in
+  {
+    fr_file = file;
+    fr_findings = [];
+    fr_suppressed = 0;
+    fr_malformed = Suppress.malformed sup;
+  }
+
 let lint_file ?context path =
   let file = normalise path in
-  match
-    let source = read_file path in
-    let lexbuf = Lexing.from_string source in
-    Lexing.set_filename lexbuf file;
-    (source, Parse.implementation lexbuf)
-  with
-  | exception exn -> (
-      match parse_error_of_exn file exn with
-      | Some pe -> Error pe
-      | None -> raise exn)
-  | source, structure ->
+  if Filename.check_suffix file ".mli" then
+    match lint_interface file (read_file path) with
+    | report -> Ok report
+    | exception exn -> (
+        match parse_error_of_exn file exn with
+        | Some pe -> Error pe
+        | None -> raise exn)
+  else
+    match
+      let source = read_file path in
+      let lexbuf = Lexing.from_string source in
+      Lexing.set_filename lexbuf file;
+      (source, Parse.implementation lexbuf)
+    with
+    | exception exn -> (
+        match parse_error_of_exn file exn with
+        | Some pe -> Error pe
+        | None -> raise exn)
+    | source, structure ->
       let context =
         match context with
         | Some c -> c

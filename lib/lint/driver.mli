@@ -12,7 +12,7 @@ type file_report = {
   fr_findings : Finding.t list;  (** after inline suppression *)
   fr_suppressed : int;  (** findings silenced by inline directives *)
   fr_malformed : (int * string) list;
-      (** [stochlint:] comments that failed to parse *)
+      (** suppression-marker comments that failed to parse *)
 }
 
 type outcome = {

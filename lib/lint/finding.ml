@@ -5,6 +5,9 @@ type rule =
   | Unseeded_random
   | Print_in_lib
   | Unlogged_sink
+  | Global_mut_state
+  | Domain_unsafe_reach
+  | Rng_ambient
 
 type severity = Error | Warning
 
@@ -19,7 +22,7 @@ type t = {
 let all_rules =
   [
     Float_eq; Partial_fn; Exn_in_core; Unseeded_random; Print_in_lib;
-    Unlogged_sink;
+    Unlogged_sink; Global_mut_state; Domain_unsafe_reach; Rng_ambient;
   ]
 
 let rule_id = function
@@ -29,17 +32,23 @@ let rule_id = function
   | Unseeded_random -> "UNSEEDED_RANDOM"
   | Print_in_lib -> "PRINT_IN_LIB"
   | Unlogged_sink -> "UNLOGGED_SINK"
+  | Global_mut_state -> "GLOBAL_MUT_STATE"
+  | Domain_unsafe_reach -> "DOMAIN_UNSAFE_REACH"
+  | Rng_ambient -> "RNG_AMBIENT"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
-(* FLOAT_EQ, PARTIAL_FN and UNSEEDED_RANDOM are silent-wrong-answer
-   hazards (tail probabilities, trace reproducibility); EXN_IN_CORE,
-   PRINT_IN_LIB and UNLOGGED_SINK are API-discipline rules, so they
-   rank as warnings. The CI gate fails on either — severity only
+(* FLOAT_EQ, PARTIAL_FN, UNSEEDED_RANDOM and RNG_AMBIENT are
+   silent-wrong-answer hazards (tail probabilities, trace
+   reproducibility); EXN_IN_CORE, PRINT_IN_LIB, UNLOGGED_SINK and the
+   stochdomcheck inventory/reach rules are API-discipline rules, so
+   they rank as warnings. The CI gate fails on either — severity only
    affects reporting. *)
 let severity = function
-  | Float_eq | Partial_fn | Unseeded_random -> Error
-  | Exn_in_core | Print_in_lib | Unlogged_sink -> Warning
+  | Float_eq | Partial_fn | Unseeded_random | Rng_ambient -> Error
+  | Exn_in_core | Print_in_lib | Unlogged_sink | Global_mut_state
+  | Domain_unsafe_reach ->
+      Warning
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 

@@ -9,6 +9,16 @@ type rule =
   | Unlogged_sink
       (** bare [stdout]/[stderr]/[Format.std_formatter] in library
           code — route output through [Stochobs.Log]/[Writer] *)
+  | Global_mut_state
+      (** stochdomcheck: unannotated top-level mutable value in [lib/]
+          (ref, mutable record, hashtable, buffer, array, ...) *)
+  | Domain_unsafe_reach
+      (** stochdomcheck: a declared parallel-candidate entry point
+          transitively writes shared global mutable state *)
+  | Rng_ambient
+      (** stochdomcheck: RNG state reached ambiently (stdlib [Random]
+          or a global [Randomness.Rng.t]) instead of being threaded as
+          a parameter *)
 
 type severity = Error | Warning
 

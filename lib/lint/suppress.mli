@@ -1,7 +1,7 @@
 (** Inline suppression comments.
 
-    A comment of the form [(* stochlint: allow RULE — reason *)]
-    silences findings for [RULE] on the same source line and on the
+    A comment of the form [(* stochlint: allow FLOAT_EQ — reason *)]
+    silences findings for that rule on the same source line and on the
     line immediately below it, so both styles work:
 
     {v
@@ -33,5 +33,5 @@ val active : t -> rule:Finding.rule -> line:int -> bool
 
 val directives : t -> directive list
 val malformed : t -> (int * string) list
-(** [stochlint:] markers whose directive could not be parsed —
+(** Suppression markers whose directive could not be parsed —
     reported so a typo cannot silently disable a suppression. *)

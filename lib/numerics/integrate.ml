@@ -4,11 +4,14 @@ let default_tol = 1e-10
    they cost one branch per quadrature call, not per panel: recursion
    depth is tracked in a plain ref and only fed to the histogram once
    the call returns. *)
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_calls = Stochobs.Metrics.(counter default) "numerics.integrate.calls"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_nonfinite =
   Stochobs.Metrics.(counter default) "numerics.integrate.nonfinite_bailouts"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_depth =
   Stochobs.Metrics.(histogram default) "numerics.integrate.depth"
     ~buckets:[| 0.0; 2.0; 4.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0 |]

@@ -3,8 +3,10 @@ type result = { xmin : float; fmin : float; evaluations : int }
 (* Profiling probes: each optimiser already counts its objective
    evaluations for the caller, so feeding the registry is one counter
    add per call, not per evaluation. *)
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_calls = Stochobs.Metrics.(counter default) "numerics.optimize.calls"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_evals =
   Stochobs.Metrics.(counter default) "numerics.optimize.evaluations"
 

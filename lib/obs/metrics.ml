@@ -33,6 +33,9 @@ let create ?(enabled = false) () = { on = enabled; items = [] }
    default: until the CLI's --profile (or a test) flips it on, every
    probe in the numerics/solver/scheduler hot paths is one load and
    one branch. *)
+(* The multicore plan is per-domain registries merged at join, not a
+   locked shared one, so the registry stays a plain record. *)
+(* stochlint: allow GLOBAL_MUT_STATE — the one deliberate process-global registry *)
 let default = create ()
 
 let set_enabled t on = t.on <- on

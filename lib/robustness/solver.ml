@@ -5,16 +5,21 @@ module Trace = Stochobs.Trace
 (* Profiling probes on the global registry (one branch each while
    disabled). Evaluations are counted where the budget already charges
    them, so the metric always agrees with [diagnostics.evaluations]. *)
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_solves = Stochobs.Metrics.(counter default) "robust.solver.solves"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_evaluations =
   Stochobs.Metrics.(counter default) "robust.solver.evaluations"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_degraded = Stochobs.Metrics.(counter default) "robust.solver.degraded"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_rej_budget =
   Stochobs.Metrics.(counter default) "robust.solver.rejections.budget"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_rej_nonconv =
   Stochobs.Metrics.(counter default) "robust.solver.rejections.non_convergent"
 
@@ -529,12 +534,15 @@ let solve ?(obs = Trace.null) ?(budget = default_budget) ?(tiers = all_tiers)
 module Spot_cost = Stochastic_core.Spot_cost
 module Spot_plan = Stochastic_core.Spot_plan
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_spot_solves =
   Stochobs.Metrics.(counter default) "robust.solver.spot.solves"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_spot_slots =
   Stochobs.Metrics.(counter default) "robust.solver.spot.spot_slots"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_spot_all_on_demand =
   Stochobs.Metrics.(counter default) "robust.solver.spot.all_on_demand"
 

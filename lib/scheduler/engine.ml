@@ -2,27 +2,35 @@ module Trace = Stochobs.Trace
 
 (* Profiling probes on the global registry: one branch each while the
    registry is disabled, so they are safe inside the event loop. *)
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_events = Stochobs.Metrics.(counter default) "scheduler.engine.events"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_dispatches =
   Stochobs.Metrics.(counter default) "scheduler.engine.dispatches"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_queue_depth =
   Stochobs.Metrics.(gauge default) "scheduler.engine.queue_depth"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_kill_timeout =
   Stochobs.Metrics.(counter default) "scheduler.engine.kills.timeout"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_kill_fault =
   Stochobs.Metrics.(counter default) "scheduler.engine.kills.node_failure"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_abandoned =
   Stochobs.Metrics.(counter default) "scheduler.engine.abandoned"
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let h_attempt_span =
   Stochobs.Metrics.(histogram default) "scheduler.engine.attempt_span"
     ~buckets:[| 0.1; 1.0; 10.0; 100.0; 1_000.0; 10_000.0 |]
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let h_restore =
   Stochobs.Metrics.(histogram default) "scheduler.engine.checkpoint.restore_time"
     ~buckets:[| 0.01; 0.1; 1.0; 10.0; 100.0 |]

@@ -1,9 +1,13 @@
 module Spot_cost = Stochastic_core.Spot_cost
 module Trace = Stochobs.Trace
 
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_reps = Stochobs.Metrics.(counter default) "spot.sim.reps"
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_attempts = Stochobs.Metrics.(counter default) "spot.sim.attempts"
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_revocations = Stochobs.Metrics.(counter default) "spot.sim.revocations"
+(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
 let m_resumes = Stochobs.Metrics.(counter default) "spot.sim.resumes"
 
 type result = {

@@ -1,0 +1,24 @@
+(* Fixture: one global mutable value per kind, plus decoys the
+   inventory must skip and a suppressed site the filter must honour.
+   Line positions are pinned by test/test_domcheck.ml — append only. *)
+
+type counter = { name : string; mutable hits : int }
+type point = { x : float; y : float }
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let total = ref 0
+let scratch = Buffer.create 64
+let hits = { name = "hits"; hits = 0 }
+
+(* Decoys: immutable record, plain constant, function — not globals. *)
+let origin = { x = 0.0; y = 0.0 }
+let limit = 42
+
+(* stochlint: allow GLOBAL_MUT_STATE — fixture: intentional shared accumulator *)
+let allowed : int list ref = ref []
+
+let bump () = incr total
+let record k = Hashtbl.replace table k !total
+let note s = Buffer.add_string scratch s
+let hit () = hits.hits <- hits.hits + 1
+let show () = string_of_float origin.x ^ string_of_int limit

@@ -1,0 +1,11 @@
+(* Fixture: an entry point that transitively draws from the ambient
+   stdlib Random state instead of a threaded generator. *)
+
+let roll n = Random.int n
+
+let run trials =
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    acc := !acc + roll 6
+  done;
+  !acc

@@ -1,0 +1,7 @@
+(* Fixture: a global generator. Even though [Randomness.Rng.t] is the
+   repo's own threaded-RNG type, parking one in a global turns it back
+   into ambient state — every domain would advance the same stream. *)
+
+let shared = Randomness.Rng.create ~seed:7 ()
+let draw () = Randomness.Rng.float shared
+let run k = draw () +. float_of_int k

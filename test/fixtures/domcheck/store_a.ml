@@ -1,0 +1,6 @@
+(* Fixture: the written-to half of a cross-module write chain. The
+   global lives here; the entry point that reaches it is in store_b. *)
+
+let registry : (string, int) Hashtbl.t = Hashtbl.create 8
+let put key v = Hashtbl.replace registry key v
+let get key = Hashtbl.find_opt registry key

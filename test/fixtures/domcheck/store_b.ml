@@ -1,0 +1,8 @@
+(* Fixture: entry point reaching Store_a.registry two calls deep —
+   run -> record -> Store_a.put -> Hashtbl.replace registry. *)
+
+let record label = Store_a.put label 1
+
+let run label =
+  record label;
+  Store_a.get label
