@@ -688,15 +688,106 @@ let run_perf () =
     results;
   List.iter print_endline (List.sort compare !lines)
 
-(* Pull the "--out FILE" pair (destination of the obs artefact) out of
-   the positional artefact names. *)
-let rec split_out acc = function
-  | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
-  | a :: rest -> split_out (a :: acc) rest
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: "--compare BASELINE.json" reruns the artefact  *)
+(* (which must also say --out FILE) and then checks every key the      *)
+(* baseline file names against the fresh artefact. A baseline entry is *)
+(* either a bare number (exact match) or an object                     *)
+(*   {"value": V, "rel": R, "abs": A}                                  *)
+(* tolerating |fresh - V| <= max(R * |V|, A). Keys the baseline names  *)
+(* but the fresh artefact lacks are regressions; fresh-only keys are   *)
+(* ignored (adding a field to an artefact must not break CI). Exit 1   *)
+(* on any violation, so the artefact JSONs are CI-gateable.            *)
+(* ------------------------------------------------------------------ *)
+
+let read_json_file path =
+  let module J = Stochobs.Json in
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          match J.of_string (really_input_string ic n) with
+          | Ok j -> Ok j
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let compare_baseline ~baseline ~out =
+  let module J = Stochobs.Json in
+  let fail msg =
+    Printf.eprintf "bench --compare: %s\n" msg;
+    exit 1
+  in
+  let base =
+    match read_json_file baseline with Ok j -> j | Error m -> fail m
+  in
+  let fresh = match read_json_file out with Ok j -> j | Error m -> fail m in
+  let entries =
+    match base with
+    | J.Obj fields -> fields
+    | _ -> fail (baseline ^ ": baseline must be a JSON object")
+  in
+  section (Printf.sprintf "Baseline comparison: %s vs %s" out baseline);
+  let violations = ref 0 in
+  List.iter
+    (fun (key, spec) ->
+      let expected, rel, abs_tol =
+        match spec with
+        | J.Num v -> (v, 0.0, 0.0)
+        | J.Obj _ ->
+            let num name fallback =
+              match J.member name spec with
+              | Some (J.Num v) -> v
+              | _ -> fallback
+            in
+            (num "value" Float.nan, num "rel" 0.0, num "abs" 0.0)
+        | _ -> (Float.nan, 0.0, 0.0)
+      in
+      if Float.is_nan expected then
+        fail (Printf.sprintf "baseline key %S lacks a numeric value" key)
+      else
+        match J.member key fresh with
+        | Some (J.Num got) ->
+            let slack = Float.max (rel *. Float.abs expected) abs_tol in
+            if Float.abs (got -. expected) <= slack then
+              Printf.printf "[compare] ok         %-24s %g (baseline %g)\n" key
+                got expected
+            else begin
+              incr violations;
+              Printf.printf
+                "[compare] REGRESSION %-24s %g vs baseline %g (slack %g)\n" key
+                got expected slack
+            end
+        | _ ->
+            incr violations;
+            Printf.printf
+              "[compare] REGRESSION %-24s missing from fresh artefact\n" key)
+    entries;
+  if !violations > 0 then begin
+    Printf.eprintf "bench --compare: %d key(s) regressed against %s\n"
+      !violations baseline;
+    exit 1
+  end
+  else Printf.printf "[compare] all %d key(s) within tolerance\n"
+         (List.length entries)
+
+(* Pull the "--out FILE" / "--compare FILE" pairs out of the
+   positional artefact names. *)
+let rec split_opt flag acc = function
+  | f :: path :: rest when f = flag -> (Some path, List.rev_append acc rest)
+  | a :: rest -> split_opt flag (a :: acc) rest
   | [] -> (None, List.rev acc)
 
 let () =
-  let out, args = split_out [] (Array.to_list Sys.argv |> List.tl) in
+  let argv = Array.to_list Sys.argv |> List.tl in
+  let out, argv = split_opt "--out" [] argv in
+  let compare_path, args = split_opt "--compare" [] argv in
+  (match (compare_path, out) with
+  | Some _, None ->
+      Printf.eprintf "bench --compare requires --out FILE\n";
+      exit 2
+  | _ -> ());
   let quick = List.mem "quick" args in
   let cfg =
     if quick then Experiments.Config.quick else Experiments.Config.paper
@@ -733,4 +824,7 @@ let () =
   if want "obs" then run_obs ~out;
   if want "serve" then run_serve ~quick ~out;
   if want "restart" then run_restart ~quick ~out;
-  if want "perf" then run_perf ()
+  if want "perf" then run_perf ();
+  match (compare_path, out) with
+  | Some baseline, Some out -> compare_baseline ~baseline ~out
+  | _ -> ()

@@ -146,7 +146,11 @@ let obs_term =
 (* Run [f] under the observability options: build the trace sink, flip
    the global metrics registry on when requested, and emit the metric
    deltas (file and/or stderr) once [f] finishes — also on the error
-   path, so a failed solve still leaves its trace and counters behind. *)
+   path, so a failed solve still leaves its trace and counters behind.
+   [f] also receives the run's clock so every time source in the
+   process (trace sink, solver budget guard, server uptime) reads the
+   same instance — under --fake-clock, a second independent fake clock
+   would silently desynchronize the timestamps. *)
 let with_obs opts f =
   let module M = Stochobs.Metrics in
   let metrics_on = opts.profile || opts.metrics_file <> None in
@@ -170,19 +174,20 @@ let with_obs opts f =
       if opts.profile then Format.eprintf "%a@." M.pp delta
     end
   in
+  let clock =
+    if opts.fake_clock then Stochobs.Clock.fake () else Stochobs.Clock.cpu
+  in
   Fun.protect ~finally:finish (fun () ->
       match opts.trace_file with
-      | None -> f Stochobs.Trace.null
+      | None -> f Stochobs.Trace.null clock
       | Some path ->
           let oc = open_out path in
           Fun.protect
             ~finally:(fun () -> close_out oc)
             (fun () ->
-              let clock =
-                if opts.fake_clock then Stochobs.Clock.fake ()
-                else Stochobs.Clock.cpu
-              in
-              f (Stochobs.Trace.make ~clock (Stochobs.Writer.of_channel oc))))
+              f
+                (Stochobs.Trace.make ~clock (Stochobs.Writer.of_channel oc))
+                clock))
 
 (* ---------------------------- commands ---------------------------- *)
 
@@ -365,7 +370,7 @@ let cluster_cmd =
     let workload =
       Scheduler.Workload.generate ?checkpoint spec d ~sequence:seq rng
     in
-    with_obs obs_opts @@ fun obs ->
+    with_obs obs_opts @@ fun obs _clock ->
     let result =
       Scheduler.Engine.run
         (Scheduler.Engine.make_config ~obs ?faults ~retry ~nodes ~policy ())
@@ -654,7 +659,7 @@ let solve_cmd =
         exit 3
       end
     in
-    with_obs obs_opts @@ fun obs ->
+    with_obs obs_opts @@ fun obs clock ->
     match spot_opts.spot_price with
     | Some price_ratio -> (
         let recovery =
@@ -673,7 +678,7 @@ let solve_cmd =
               exit 2
         in
         match
-          Robust.Solver.solve_spot ~obs ~budget ~tiers
+          Robust.Solver.solve_spot ~obs ~clock ~budget ~tiers
             ~validate:(not no_validate) ~exact ~seed ~recovery ~price_ratio
             ~revocation_rate:(1.0 /. spot_opts.spot_mtbf) model d
         with
@@ -718,7 +723,7 @@ let solve_cmd =
             check_strict sol.Robust.Solver.base)
     | None -> (
     match
-      Robust.Solver.solve ~obs ~budget ~tiers ~validate:(not no_validate)
+      Robust.Solver.solve ~obs ~clock ~budget ~tiers ~validate:(not no_validate)
         ~exact ~seed model d
     with
     | Error e ->
@@ -831,11 +836,7 @@ let serve_cmd =
       }
     in
     let config = usage_exit (Stochserve.Server.check_config config) in
-    with_obs obs_opts @@ fun obs ->
-    let clock =
-      if obs_opts.fake_clock then Stochobs.Clock.fake ()
-      else Stochobs.Clock.cpu
-    in
+    with_obs obs_opts @@ fun obs clock ->
     (* Writing to a hung-up client must surface as EPIPE (caught per
        client), not kill the daemon with an unhandled SIGPIPE. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -867,6 +868,11 @@ let serve_cmd =
           j)
         persist
     in
+    (* A daemon always records its instruments: the metrics request
+       kind serves them live as a Prometheus exposition, which is
+       pointless over a disabled registry. (One-shot commands keep the
+       opt-in --profile/--metrics gating.) *)
+    Stochobs.Metrics.set_enabled Stochobs.Metrics.default true;
     let server =
       Stochserve.Server.create ~obs ~clock ~metrics:Stochobs.Metrics.default
         ?journal config
@@ -1054,7 +1060,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the strategy-as-a-service daemon: a JSONL request loop \
-          (kinds: solve, fit, stats, shutdown) over stdin/stdout or a \
+          (kinds: solve, fit, stats, metrics, shutdown) over stdin/stdout or a \
           Unix-domain socket, with a solved-strategy LRU cache keyed by \
           quantized distribution parameters. Error responses carry the \
           solver exit codes (2 usage, 4-7 solver taxonomy). With \
@@ -1089,7 +1095,7 @@ let experiment_cmd name doc run =
           (Stochobs.Writer.of_channel stderr)
       else Stochobs.Log.null
     in
-    with_obs obs_opts @@ fun obs ->
+    with_obs obs_opts @@ fun obs _clock ->
     Stochobs.Trace.with_span obs
       ~attrs:
         [
@@ -1179,7 +1185,7 @@ let spot_savings_cmd =
           (Stochobs.Writer.of_channel stderr)
       else Stochobs.Log.null
     in
-    with_obs obs_opts @@ fun obs ->
+    with_obs obs_opts @@ fun obs _clock ->
     Stochobs.Trace.with_span obs
       ~attrs:
         [

@@ -1,0 +1,148 @@
+(* stochtrace: analyse the JSONL span traces the CLI and the serve
+   daemon emit with --trace.
+
+     stochtrace summary solve.jsonl            per-span-name table
+     stochtrace summary --json solve.jsonl     same, machine-readable
+     stochtrace critical-path solve.jsonl      heaviest chain per root
+     stochtrace flamegraph solve.jsonl         folded stacks (flamegraph.pl)
+     stochtrace diff old.jsonl new.jsonl       per-name regressions
+
+   diff exits 1 when any span name's total time grew beyond the
+   relative threshold (default 25%), so trace files are a CI-gateable
+   artefact: two fake-clock runs of the same seed diff empty, a
+   slowdown fails the job. Damaged traces (torn tails, flipped bits)
+   are read skip-and-count, never fatally. *)
+
+open Cmdliner
+module Tr = Stochobs_analysis.Trace_read
+module Stats = Stochobs_analysis.Span_stats
+module Cp = Stochobs_analysis.Critical_path
+module Fg = Stochobs_analysis.Flamegraph
+
+let read path =
+  match Tr.of_file path with
+  | Ok t ->
+      if t.Tr.skipped > 0 then
+        Format.eprintf "stochtrace: %s: skipped %d damaged line(s) of %d@."
+          path t.Tr.skipped t.Tr.lines;
+      t
+  | Error msg ->
+      Format.eprintf "stochtrace: %s@." msg;
+      exit 2
+
+let file_arg ~docv ~pos:p =
+  Arg.(required & pos p (some string) None
+       & info [] ~docv ~doc:"Trace file (JSONL spans, as written by --trace).")
+
+let summary_cmd =
+  let run json path =
+    let t = read path in
+    let rows = Stats.compute t in
+    if json then
+      print_endline
+        (Stochobs.Json.to_string ~indent:false (Stats.to_json rows))
+    else begin
+      Format.printf "%d span(s), %d event(s), %d root(s)@." (Tr.span_count t)
+        (List.length t.Tr.events)
+        (List.length t.Tr.roots);
+      Format.printf "%a" Stats.pp rows
+    end
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the rows as a JSON array instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Per-span-name aggregation: count, errors, total/self time, \
+          nearest-rank p50/p95/p99.")
+    Term.(const run $ json_arg $ file_arg ~docv:"TRACE" ~pos:0)
+
+let critical_path_cmd =
+  let run path =
+    let t = read path in
+    Format.printf "%a" Cp.pp (Cp.compute t)
+  in
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:
+         "Longest child-chain decomposition per root span: at every level \
+          descend into the heaviest child.")
+    Term.(const run $ file_arg ~docv:"TRACE" ~pos:0)
+
+let flamegraph_cmd =
+  let run out path =
+    let t = read path in
+    let lines = Fg.to_lines t in
+    match out with
+    | None -> List.iter print_endline lines
+    | Some dest ->
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              lines)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the folded stacks to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "flamegraph"
+       ~doc:
+         "Folded-stack output (root;child;leaf self-microseconds), ready for \
+          flamegraph.pl or speedscope.")
+    Term.(const run $ out_arg $ file_arg ~docv:"TRACE" ~pos:0)
+
+let diff_cmd =
+  let run threshold old_path new_path =
+    let old_rows = Stats.compute (read old_path) in
+    let new_rows = Stats.compute (read new_path) in
+    match Stats.diff ~threshold ~old_rows ~new_rows with
+    | [] -> () (* identical runs print nothing and exit 0 *)
+    | changes ->
+        Format.printf "%a" Stats.pp_changes changes;
+        if List.exists (fun c -> c.Stats.regression) changes then begin
+          Format.eprintf
+            "stochtrace: %d span name(s) regressed beyond %+.0f%%@."
+            (List.length (List.filter (fun c -> c.Stats.regression) changes))
+            (100.0 *. threshold);
+          exit 1
+        end
+    | exception Invalid_argument msg ->
+        Format.eprintf "stochtrace: %s@." msg;
+        exit 2
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.25
+         & info [ "threshold" ] ~docv:"R"
+             ~doc:
+               "Relative regression threshold on per-name total time: flag \
+                when (new - old) / old exceeds $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two traces per span name and exit 1 when any name's total \
+          time regressed beyond the threshold. Identical traces (e.g. two \
+          --fake-clock runs of the same seed) print nothing and exit 0.")
+    Term.(
+      const run $ threshold_arg
+      $ file_arg ~docv:"OLD" ~pos:0
+      $ file_arg ~docv:"NEW" ~pos:1)
+
+let () =
+  let info =
+    Cmd.info "stochtrace"
+      ~doc:"Trace analytics for stochastic-reservations JSONL span traces."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ summary_cmd; critical_path_cmd; flamegraph_cmd; diff_cmd ]))

@@ -1,0 +1,56 @@
+type step = {
+  span : Trace_read.span;
+  step_self : float;
+  fraction : float;
+}
+
+let heaviest_child (sp : Trace_read.span) =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | None -> Some c
+      | Some b ->
+          (* Strict >: on ties the earlier child (lower id) wins, so
+             the chain is deterministic. *)
+          if Trace_read.duration c > Trace_read.duration b then Some c
+          else best)
+    None sp.Trace_read.children
+
+let of_root root =
+  let total = Trace_read.duration root in
+  let frac d = if total > 0.0 then d /. total else 0.0 in
+  let rec walk acc sp =
+    let step =
+      {
+        span = sp;
+        step_self = Trace_read.self_time sp;
+        fraction = frac (Trace_read.duration sp);
+      }
+    in
+    match heaviest_child sp with
+    | None -> List.rev (step :: acc)
+    | Some c -> walk (step :: acc) c
+  in
+  walk [] root
+
+let compute (t : Trace_read.t) = List.map of_root t.Trace_read.roots
+
+let pp fmt chains =
+  List.iter
+    (fun chain ->
+      (match chain with
+      | [] -> ()
+      | root :: _ ->
+          Format.fprintf fmt "critical path of %s (%.6fs):@."
+            root.span.Trace_read.name
+            (Trace_read.duration root.span));
+      List.iteri
+        (fun depth step ->
+          Format.fprintf fmt "  %s%-34s %10.6fs  self %10.6fs  %5.1f%%@."
+            (String.make (2 * depth) ' ')
+            step.span.Trace_read.name
+            (Trace_read.duration step.span)
+            step.step_self
+            (100.0 *. step.fraction))
+        chain)
+    chains

@@ -216,6 +216,42 @@ let zero = function
   | Gauge_v _ -> false
   | Histogram_v h -> h.total = 0
 
+(* Merge two readings of the same instrument. Counters and histograms
+   are cumulative, so they add (saturating, like the live updates);
+   gauges are instantaneous, so the right operand's [last] stands —
+   "right" is "later" by convention, exactly as in [diff] — while the
+   maxima combine. A kind or bucket mismatch can only mean the two
+   snapshots come from incompatible registries; the right operand wins
+   there too, keeping the convention uniform. *)
+let merge_value a b =
+  match (a, b) with
+  | Counter_v n, Counter_v m -> Counter_v (sat_add n m)
+  | Gauge_v g, Gauge_v h ->
+      Gauge_v { last = h.last; max = Float.max g.max h.max }
+  | Histogram_v g, Histogram_v h
+    when Array.length g.counts = Array.length h.counts ->
+      Histogram_v
+        {
+          h with
+          counts = Array.mapi (fun i c -> sat_add c g.counts.(i)) h.counts;
+          total = sat_add g.total h.total;
+          sum = g.sum +. h.sum;
+        }
+  | _, b -> b
+
+(* Snapshots are sorted by name, so the union is a linear merge and
+   the result stays sorted — [merge] is associative over well-kinded
+   snapshots and the empty snapshot is its identity (the multicore
+   per-domain registries fold through this at join). *)
+let rec merge a b =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | (an, av) :: arest, (bn, bv) :: brest ->
+      let c = String.compare an bn in
+      if c < 0 then (an, av) :: merge arest b
+      else if c > 0 then (bn, bv) :: merge a brest
+      else (an, merge_value av bv) :: merge arest brest
+
 let value_to_json = function
   | Counter_v n -> Json.Num (float_of_int n)
   | Gauge_v { last; max } ->
@@ -234,6 +270,68 @@ let value_to_json = function
 
 let to_json snap =
   Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)
+
+(* ------------------------ Prometheus exposition ------------------- *)
+
+(* The repo's [layer.component.metric] names carry dots, which the
+   Prometheus metric-name grammar (letters, digits, '_' and ':', no
+   leading digit) forbids; every illegal byte maps to '_' and a
+   leading digit gets a '_' prefix. *)
+let prometheus_name name =
+  let ok i c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | '0' .. '9' -> i > 0
+    | _ -> false
+  in
+  let b = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      if ok (Buffer.length b) c then Buffer.add_char b c
+      else if i = 0 && (match c with '0' .. '9' -> true | _ -> false) then begin
+        Buffer.add_char b '_';
+        Buffer.add_char b c
+      end
+      else Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* %.17g round-trips a double, so a scrape is as exact as the JSON
+   snapshot; Prometheus itself parses any Go float literal. *)
+let prometheus_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_prometheus snap =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = prometheus_name name in
+      match v with
+      | Counter_v c ->
+          line "# TYPE %s_total counter" n;
+          line "%s_total %d" n c
+      | Gauge_v { last; max } ->
+          line "# TYPE %s gauge" n;
+          line "%s %s" n (prometheus_num last);
+          line "# TYPE %s_max gauge" n;
+          line "%s_max %s" n (prometheus_num max)
+      | Histogram_v { upper; counts; total; sum } ->
+          line "# TYPE %s histogram" n;
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cumulative := sat_add !cumulative counts.(i);
+              line "%s_bucket{le=\"%s\"} %d" n (prometheus_num bound)
+                !cumulative)
+            upper;
+          line "%s_bucket{le=\"+Inf\"} %d" n total;
+          line "%s_sum %s" n (prometheus_num sum);
+          line "%s_count %d" n total)
+    snap;
+  Buffer.contents b
 
 let pp fmt snap =
   List.iter

@@ -99,5 +99,25 @@ val zero : value -> bool
 (** [true] when the value records no activity — handy for filtering a
     {!diff} down to what actually moved. *)
 
+val merge : snapshot -> snapshot -> snapshot
+(** [merge a b] is the union of two snapshots: counters and histogram
+    counts/totals add (saturating at [max_int]), histogram sums add
+    exactly, gauges keep [b]'s [last] (the right operand is "later",
+    as in {!diff}) and the larger of the two maxima. Instruments
+    present on one side pass through. Over well-kinded snapshots —
+    same name always the same kind and bucket bounds, which is all a
+    registry can produce — [merge] is associative with the empty
+    snapshot as identity, so per-domain registries fold cleanly at
+    join; on a kind or bucket mismatch the right operand wins. *)
+
 val to_json : snapshot -> Json.t
 val pp : Format.formatter -> snapshot -> unit
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (format 0.0.4) of a snapshot: dots in
+    instrument names become underscores, counters gain the
+    conventional [_total] suffix, gauges emit their last reading plus
+    a [<name>_max] companion, histograms emit cumulative
+    [<name>_bucket{le="..."}] series ending at [le="+Inf"] with
+    [_sum] and [_count]. Every series is preceded by its [# TYPE]
+    line. *)

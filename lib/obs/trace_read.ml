@@ -1,0 +1,212 @@
+module J = Stochobs.Json
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start : float;
+  stop : float;
+  error : string option;
+  attrs : (string * J.t) list;
+  children : span list;
+}
+
+type event = {
+  ev_name : string;
+  ev_parent : int;
+  at : float;
+  ev_attrs : (string * J.t) list;
+}
+
+type t = {
+  roots : span list;
+  events : event list;
+  lines : int;
+  skipped : int;
+}
+
+let duration sp = sp.stop -. sp.start
+
+let self_time sp =
+  let kids = List.fold_left (fun acc c -> acc +. duration c) 0.0 sp.children in
+  Float.max 0.0 (duration sp -. kids)
+
+let rec preorder acc sp = List.fold_left preorder (sp :: acc) sp.children
+
+let spans t = List.rev (List.fold_left preorder [] t.roots)
+
+let span_count t = List.length (spans t)
+
+(* ------------------------- record parsing ------------------------- *)
+
+(* A raw span line before tree assembly: [children] filled in later. *)
+type raw = {
+  r_id : int;
+  r_parent : int;
+  r_name : string;
+  r_start : float;
+  r_stop : float;
+  r_error : string option;
+  r_attrs : (string * J.t) list;
+}
+
+let str_field name j = Option.bind (J.member name j) J.to_str
+let int_field name j = Option.bind (J.member name j) J.to_int
+
+let num_field name j =
+  match J.member name j with Some (J.Num v) -> Some v | _ -> None
+
+let attrs_field j =
+  match J.member "attrs" j with Some (J.Obj fields) -> fields | _ -> []
+
+type record = Span of raw | Event of event | Damaged
+
+(* Validate one parsed object back into the writer's record shape; a
+   missing or ill-typed field means a torn or bit-flipped line, and
+   the whole line is damage — half a span is worse than none. *)
+let record_of_json j =
+  match str_field "type" j with
+  | Some "span" -> (
+      match
+        ( str_field "name" j,
+          int_field "id" j,
+          num_field "start" j,
+          num_field "end" j )
+      with
+      | Some name, Some id, Some start, Some stop
+        when id > 0
+             && Float.is_finite start
+             && Float.is_finite stop
+             && stop >= start -> (
+          match int_field "parent" j with
+          | Some p when p = id || p < 0 -> Damaged
+          | parent ->
+              Span
+                {
+                  r_id = id;
+                  r_parent = Option.value parent ~default:0;
+                  r_name = name;
+                  r_start = start;
+                  r_stop = stop;
+                  r_error = str_field "error" j;
+                  r_attrs = attrs_field j;
+                })
+      | _ -> Damaged)
+  | Some "event" -> (
+      match (str_field "name" j, num_field "at" j) with
+      | Some name, Some at when Float.is_finite at ->
+          Event
+            {
+              ev_name = name;
+              ev_parent =
+                (match int_field "parent" j with
+                | Some p when p > 0 -> p
+                | _ -> 0);
+              at;
+              ev_attrs = attrs_field j;
+            }
+      | _ -> Damaged)
+  | _ -> Damaged
+
+(* -------------------------- tree assembly ------------------------- *)
+
+let of_lines lines =
+  let raws : (int, raw) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] (* raw ids, reverse file order *) in
+  let events = ref [] in
+  let line_count = ref 0 in
+  let skipped = ref 0 in
+  Seq.iter
+    (fun line ->
+      if String.trim line <> "" then begin
+        incr line_count;
+        match J.of_string line with
+        | Error _ -> incr skipped
+        | Ok j -> (
+            match record_of_json j with
+            | Damaged -> incr skipped
+            | Event e -> events := e :: !events
+            | Span r ->
+                if Hashtbl.mem raws r.r_id then
+                  (* A duplicated id can only be corruption; the first
+                     record wins so the tree stays a tree. *)
+                  incr skipped
+                else begin
+                  Hashtbl.add raws r.r_id r;
+                  order := r.r_id :: !order
+                end)
+      end)
+    lines;
+  let ids = List.rev !order in
+  (* Children grouped by parent; only parents actually present anchor
+     a subtree, everything else is a root. *)
+  let children_of : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let root_ids = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt raws id with
+      | None -> ()
+      | Some r ->
+          if r.r_parent <> 0 && Hashtbl.mem raws r.r_parent then
+            Hashtbl.replace children_of r.r_parent
+              (id :: Option.value (Hashtbl.find_opt children_of r.r_parent)
+                       ~default:[])
+          else root_ids := id :: !root_ids)
+    ids;
+  let built = Hashtbl.create 256 in
+  let rec build id =
+    match Hashtbl.find_opt raws id with
+    | None -> None
+    | Some r ->
+        Hashtbl.replace built id ();
+        let kids =
+          Option.value (Hashtbl.find_opt children_of id) ~default:[]
+          |> List.sort compare
+          |> List.filter_map build
+        in
+        Some
+          {
+            id = r.r_id;
+            parent = r.r_parent;
+            name = r.r_name;
+            start = r.r_start;
+            stop = r.r_stop;
+            error = r.r_error;
+            attrs = r.r_attrs;
+            children = kids;
+          }
+  in
+  let roots = List.sort compare !root_ids |> List.filter_map build in
+  (* Spans a corrupt parent pointer trapped in a cycle are unreachable
+     from any root: count them as damage rather than dropping them
+     silently. *)
+  let unreachable =
+    List.length (List.filter (fun id -> not (Hashtbl.mem built id)) ids)
+  in
+  {
+    roots;
+    events = List.rev !events;
+    lines = !line_count;
+    skipped = !skipped + unreachable;
+  }
+
+let of_string s = of_lines (String.split_on_char '\n' s |> List.to_seq)
+
+let of_channel ic =
+  let rec next () =
+    match In_channel.input_line ic with
+    | None -> Seq.Nil
+    | Some line -> Seq.Cons (line, next)
+  in
+  of_lines next
+
+let of_file path =
+  match In_channel.open_text path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () ->
+          match of_channel ic with
+          | t -> Ok t
+          | exception Sys_error msg -> Error msg)
+  | exception Sys_error msg -> Error msg

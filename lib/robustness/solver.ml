@@ -115,11 +115,12 @@ exception Tier_fail of error
 
 type state = {
   budget : budget;
+  clock : Stochobs.Clock.t;
   started : float;
   mutable evaluations : int;
 }
 
-let elapsed st = Sys.time () -. st.started
+let elapsed st = st.clock () -. st.started
 
 (* Each tier owns a slice of the wall clock so that a runaway early
    tier cannot starve its fallbacks: brute force may use the first
@@ -435,8 +436,9 @@ let attempt_tier st ~obs ~exact ~seed cost_model d tier =
                      (Printexc.to_string exn);
                }))
 
-let solve ?(obs = Trace.null) ?(budget = default_budget) ?(tiers = all_tiers)
-    ?(validate = true) ?(exact = false) ?(seed = 42) cost_model d =
+let solve ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
+    ?(budget = default_budget) ?(tiers = all_tiers) ?(validate = true)
+    ?(exact = false) ?(seed = 42) cost_model d =
   match check_budget_params budget with
   | Some e -> Error e
   | None ->
@@ -455,7 +457,7 @@ let solve ?(obs = Trace.null) ?(budget = default_budget) ?(tiers = all_tiers)
           "robust.solver.solve"
         @@ fun () ->
         Stochobs.Metrics.incr m_solves;
-        let st = { budget; started = Sys.time (); evaluations = 0 } in
+        let st = { budget; clock; started = clock (); evaluations = 0 } in
         let validation =
           if validate then Some (Dist_check.run d) else None
         in
@@ -589,7 +591,7 @@ let spot_regime ?(recovery = Spot_cost.Restart) ~price_ratio ~revocation_rate ()
     | Some (name, detail) -> bad name detail
     | None -> Ok (Spot_cost.make_regime ~recovery ~price_ratio ~revocation_rate ())
 
-let solve_spot ?(obs = Trace.null) ?budget ?tiers ?validate ?exact ?seed
+let solve_spot ?(obs = Trace.null) ?clock ?budget ?tiers ?validate ?exact ?seed
     ?recovery ?(disc_n = 500) ~price_ratio ~revocation_rate cost_model d =
   if disc_n <= 0 then
     Error
@@ -602,7 +604,9 @@ let solve_spot ?(obs = Trace.null) ?budget ?tiers ?validate ?exact ?seed
     match spot_regime ?recovery ~price_ratio ~revocation_rate () with
     | Error e -> Error e
     | Ok regime -> (
-        match solve ~obs ?budget ?tiers ?validate ?exact ?seed cost_model d with
+        match
+          solve ~obs ?clock ?budget ?tiers ?validate ?exact ?seed cost_model d
+        with
         | Error e -> Error e
         | Ok base -> (
             Trace.with_span obs

@@ -107,6 +107,7 @@ val degraded : solution -> bool
 
 val solve :
   ?obs:Stochobs.Trace.sink ->
+  ?clock:Stochobs.Clock.t ->
   ?budget:budget ->
   ?tiers:tier list ->
   ?validate:bool ->
@@ -119,8 +120,13 @@ val solve :
     {!Stochobs.Trace.null}) receives a ["robust.solver.solve"] span
     with one ["robust.solver.tier"] child per executed tier, each
     closing with an [outcome] attribute ([accepted]/[rejected] plus
-    the typed reason); [tiers] (default {!all_tiers}) restricts or
-    reorders the cascade; [validate] (default [true]) runs
+    the typed reason); [clock] (default {!Stochobs.Clock.cpu}) is the
+    time source the [max_seconds] budget guard reads — inject the same
+    {!Stochobs.Clock.fake} that drives a trace sink and the cascade's
+    control flow (hence the trace's shape) no longer depends on
+    machine load, which is what makes same-seed fake-clock runs
+    bit-for-bit reproducible; [tiers] (default {!all_tiers}) restricts
+    or reorders the cascade; [validate] (default [true]) runs
     {!Dist_check.run} first and refuses fatally inconsistent inputs;
     [exact] (default [false]) makes the brute-force tier rank
     candidates with the deterministic Eq. (4) series instead of
@@ -164,6 +170,7 @@ val spot_regime :
 
 val solve_spot :
   ?obs:Stochobs.Trace.sink ->
+  ?clock:Stochobs.Clock.t ->
   ?budget:budget ->
   ?tiers:tier list ->
   ?validate:bool ->

@@ -1,15 +1,6 @@
 module Spot_cost = Stochastic_core.Spot_cost
 module Trace = Stochobs.Trace
 
-(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
-let m_reps = Stochobs.Metrics.(counter default) "spot.sim.reps"
-(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
-let m_attempts = Stochobs.Metrics.(counter default) "spot.sim.attempts"
-(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
-let m_revocations = Stochobs.Metrics.(counter default) "spot.sim.revocations"
-(* stochlint: allow GLOBAL_MUT_STATE — single-domain metrics probe; the multicore fan-out merges per-domain registries *)
-let m_resumes = Stochobs.Metrics.(counter default) "spot.sim.resumes"
-
 type result = {
   reps : int;
   mean_cost : float;
@@ -20,8 +11,13 @@ type result = {
   incomplete : int;
 }
 
-let run ?(obs = Trace.null) ?(reps = 10_000) ?(seed = 42) ?max_slots regime m d plan =
+let run ?(obs = Trace.null) ?(metrics = Stochobs.Metrics.default)
+    ?(reps = 10_000) ?(seed = 42) ?max_slots regime m d plan =
   if reps <= 0 then invalid_arg "Spot_sim.run: reps must be positive";
+  let m_reps = Stochobs.Metrics.counter metrics "spot.sim.reps" in
+  let m_attempts = Stochobs.Metrics.counter metrics "spot.sim.attempts" in
+  let m_revocations = Stochobs.Metrics.counter metrics "spot.sim.revocations" in
+  let m_resumes = Stochobs.Metrics.counter metrics "spot.sim.resumes" in
   let max_slots =
     match max_slots with
     | None -> Array.length plan.Spot_cost.lengths + 128

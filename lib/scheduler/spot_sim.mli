@@ -25,6 +25,7 @@ type result = {
 
 val run :
   ?obs:Stochobs.Trace.sink ->
+  ?metrics:Stochobs.Metrics.t ->
   ?reps:int ->
   ?seed:int ->
   ?max_slots:int ->
@@ -40,5 +41,7 @@ val run :
     independent of replication order). [max_slots] (default plan
     length + 128) bounds each walk. Emits a
     ["scheduler.spot_sim.run"] span on [obs] and bumps the
-    [spot.sim.*] counters.
+    [spot.sim.*] counters on [metrics] (default
+    {!Stochobs.Metrics.default}; pass a per-domain registry from a
+    multicore fan-out and {!Stochobs.Metrics.merge} the snapshots).
     @raise Invalid_argument if [reps <= 0] or [max_slots <= 0]. *)

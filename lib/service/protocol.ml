@@ -35,6 +35,7 @@ type request =
   | Solve of solve
   | Fit of { tenant : string; samples : float array }
   | Stats
+  | Metrics
   | Shutdown
 
 type error = { code : int; label : string; detail : string }
@@ -213,13 +214,14 @@ let parse_request line =
             | "solve" -> parse_solve j
             | "fit" -> parse_fit j
             | "stats" -> Ok Stats
+            | "metrics" -> Ok Metrics
             | "shutdown" -> Ok Shutdown
             | other ->
                 Error
                   (usage_error
                      (Printf.sprintf
                         "unknown request kind %S (use solve, fit, stats, \
-                         shutdown)"
+                         metrics, shutdown)"
                         other))
           in
           match result with
@@ -348,6 +350,16 @@ let fit_response ~id ~tenant (fit : Distributions.Fitting.lognormal_fit) =
 
 let stats_response ~id stats =
   render (with_id id [ ("ok", J.Bool true); ("kind", J.Str "stats"); ("stats", stats) ])
+
+let metrics_response ~id ~exposition =
+  render
+    (with_id id
+       [
+         ("ok", J.Bool true);
+         ("kind", J.Str "metrics");
+         ("content_type", J.Str "text/plain; version=0.0.4");
+         ("exposition", J.Str exposition);
+       ])
 
 let shutdown_response ~id =
   render (with_id id [ ("ok", J.Bool true); ("kind", J.Str "shutdown") ])

@@ -1,7 +1,7 @@
 (** The daemon's JSONL wire protocol.
 
     One JSON object per line in, one per line out, in request order.
-    Four request kinds:
+    Five request kinds:
 
     {v
     {"kind": "solve", "id": 1, "dist": {"name": "lognormal"},
@@ -10,7 +10,8 @@
      "count": 10, "exact": false}
     {"kind": "fit", "id": 2, "tenant": "u1", "samples": [812.2, ...]}
     {"kind": "stats", "id": 3}
-    {"kind": "shutdown", "id": 4}
+    {"kind": "metrics", "id": 4}
+    {"kind": "shutdown", "id": 5}
     v}
 
     [dist] is one of [{"name": N}] (registry / trace names, as the CLI
@@ -63,6 +64,7 @@ type request =
   | Solve of solve
   | Fit of { tenant : string; samples : float array }
   | Stats
+  | Metrics
   | Shutdown
 
 type error = { code : int; label : string; detail : string }
@@ -118,6 +120,12 @@ val fit_response :
   Distributions.Fitting.lognormal_fit -> string
 val stats_response : id:Stochobs.Json.t option -> Stochobs.Json.t -> string
 (** Wrap a server-assembled stats object. *)
+
+val metrics_response : id:Stochobs.Json.t option -> exposition:string -> string
+(** Wrap a Prometheus text exposition (see
+    {!Stochobs.Metrics.to_prometheus}) for live scraping through the
+    protocol; [content_type] carries the exposition-format version so
+    a relay can serve the payload verbatim over HTTP. *)
 
 val shutdown_response : id:Stochobs.Json.t option -> string
 val error_response : id:Stochobs.Json.t option -> error -> string

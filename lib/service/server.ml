@@ -55,6 +55,7 @@ type counters = {
   mutable solve : int;
   mutable fit : int;
   mutable stats : int;
+  mutable metrics : int;
   mutable shutdown : int;
   mutable errors : int;
   mutable shed : int;  (* responses answered degraded under shedding *)
@@ -78,6 +79,11 @@ type t = {
      fast requests drain it back to zero. *)
   mutable pressure : int;
   mutable shedding : bool;
+  (* Rolling window of the most recent request latencies; the p99 over
+     it is a live health gauge, cheaper and fresher than the lifetime
+     histogram (which never forgets a cold start). *)
+  lat_window : float array;
+  mutable lat_seen : int;
   (* Registry instruments, registered once at creation. *)
   m_hits : M.counter;
   m_misses : M.counter;
@@ -91,7 +97,10 @@ type t = {
   m_j_errors : M.counter;
   m_deadline_exceeded : M.counter;
   m_shed : M.counter;
+  m_p99_window : M.gauge;
 }
+
+let window_size = 128
 
 let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
     ?(metrics = M.default) ?journal config =
@@ -128,6 +137,7 @@ let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
         solve = 0;
         fit = 0;
         stats = 0;
+        metrics = 0;
         shutdown = 0;
         errors = 0;
         shed = 0;
@@ -137,6 +147,8 @@ let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
     start = clock ();
     pressure = 0;
     shedding = false;
+    lat_window = Array.make window_size 0.0;
+    lat_seen = 0;
     m_hits = M.counter metrics "service.cache.hits";
     m_misses = M.counter metrics "service.cache.misses";
     m_evictions = M.counter metrics "service.cache.evictions";
@@ -151,7 +163,25 @@ let create ?(obs = Trace.null) ?(clock = Stochobs.Clock.cpu)
     m_j_errors = M.counter metrics "service.journal.errors";
     m_deadline_exceeded = M.counter metrics "service.deadline.exceeded";
     m_shed = M.counter metrics "service.shed.responses";
+    m_p99_window = M.gauge metrics "service.request.p99_window";
   }
+
+(* Nearest-rank p99 over the filled part of the rolling window; 0.0
+   before the first completed request. *)
+let window_p99 t =
+  let n = min t.lat_seen window_size in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.sub t.lat_window 0 n in
+    Array.sort compare sorted;
+    let rank = int_of_float (Float.ceil (0.99 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let record_latency t elapsed =
+  t.lat_window.(t.lat_seen mod window_size) <- elapsed;
+  t.lat_seen <- t.lat_seen + 1;
+  M.set t.m_p99_window (window_p99 t)
 
 let shedding t = t.shedding
 
@@ -262,8 +292,8 @@ let solve_cold t (s : Protocol.solve) model d ~budget ~seed =
   match Resolve.tiers_of_strategy s.Protocol.strategy with
   | Some tiers -> (
       match
-        Solver.solve ~obs:t.obs ~budget ~tiers ~exact:s.Protocol.exact ~seed
-          model d
+        Solver.solve ~obs:t.obs ~clock:t.clock ~budget ~tiers
+          ~exact:s.Protocol.exact ~seed model d
       with
       | Ok sol ->
           Ok
@@ -291,9 +321,15 @@ let solve_cold t (s : Protocol.solve) model d ~budget ~seed =
    cached or journalled: once pressure drains, the same request gets
    (and persists) the full-quality answer. *)
 let solve_shed t (s : Protocol.solve) model d ~budget ~seed =
+  (* Mean doubling is O(1); a shed answer must never itself time out,
+     so the request deadline's cap on [max_seconds] is lifted back to
+     the configured ceiling. *)
+  let budget =
+    { budget with Solver.max_seconds = t.config.budget.Solver.max_seconds }
+  in
   match
-    Solver.solve ~obs:t.obs ~budget ~tiers:[ Solver.Mean_doubling ]
-      ~exact:s.Protocol.exact ~seed model d
+    Solver.solve ~obs:t.obs ~clock:t.clock ~budget
+      ~tiers:[ Solver.Mean_doubling ] ~exact:s.Protocol.exact ~seed model d
   with
   | Ok sol ->
       Ok
@@ -370,8 +406,15 @@ let handle_solve t ~id (s : Protocol.solve) =
                      && Option.is_some
                           (Resolve.tiers_of_strategy s.Protocol.strategy) -> (
                   M.incr t.m_misses;
+                  (* Brand the shed decision with the live latency
+                     picture that justified it. *)
                   Trace.annotate t.obs
-                    [ ("cached", Trace.Bool false); ("shed", Trace.Bool true) ];
+                    [
+                      ("cached", Trace.Bool false);
+                      ("shed", Trace.Bool true);
+                      ("pressure", Trace.Int t.pressure);
+                      ("p99_window", Trace.Num (window_p99 t));
+                    ];
                   match solve_shed t s model d ~budget ~seed with
                   | Error e -> Error e
                   | Ok solved ->
@@ -419,6 +462,7 @@ let stats_json t =
             ("solve", J.Num (float_of_int t.requests.solve));
             ("fit", J.Num (float_of_int t.requests.fit));
             ("stats", J.Num (float_of_int t.requests.stats));
+            ("metrics", J.Num (float_of_int t.requests.metrics));
             ("shutdown", J.Num (float_of_int t.requests.shutdown));
             ("errors", J.Num (float_of_int t.requests.errors));
           ] );
@@ -451,11 +495,17 @@ let stats_json t =
       ( "overload",
         J.Obj
           [
+            ( "state",
+              J.Str
+                (if t.shedding then "shedding"
+                 else if t.pressure > 0 then "pressure"
+                 else "ok") );
             ("shedding", J.Bool t.shedding);
             ("pressure", J.Num (float_of_int t.pressure));
             ("shed_responses", J.Num (float_of_int t.requests.shed));
             ( "deadline_exceeded",
               J.Num (float_of_int t.requests.deadline_exceeded) );
+            ("p99_window_seconds", J.Num (window_p99 t));
           ] );
       ("metrics", M.to_json (M.snapshot t.registry));
     ]
@@ -478,12 +528,14 @@ let kind_name = function
   | Protocol.Solve _ -> "solve"
   | Protocol.Fit _ -> "fit"
   | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
   | Protocol.Shutdown -> "shutdown"
 
 let count_request t = function
   | Protocol.Solve _ -> t.requests.solve <- t.requests.solve + 1
   | Protocol.Fit _ -> t.requests.fit <- t.requests.fit + 1
   | Protocol.Stats -> t.requests.stats <- t.requests.stats + 1
+  | Protocol.Metrics -> t.requests.metrics <- t.requests.metrics + 1
   | Protocol.Shutdown -> t.requests.shutdown <- t.requests.shutdown + 1
 
 let request_counter t req =
@@ -496,6 +548,11 @@ let dispatch t ~id req =
   | Protocol.Stats ->
       Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
       (Protocol.stats_response ~id (stats_json t), false)
+  | Protocol.Metrics ->
+      Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
+      ( Protocol.metrics_response ~id
+          ~exposition:(M.to_prometheus (M.snapshot t.registry)),
+        false )
   | Protocol.Shutdown ->
       Trace.annotate t.obs [ ("ok", Trace.Bool true) ];
       (Protocol.shutdown_response ~id, true)
@@ -521,6 +578,21 @@ let update_pressure t ~elapsed =
         if t.pressure = 0 then t.shedding <- false
       end
 
+(* Echo the client's correlation id into the request span, typed when
+   the id is a scalar so trace tooling can filter on it directly. *)
+let request_id_attrs = function
+  | None -> []
+  | Some id ->
+      let v =
+        match id with
+        | J.Num n when Float.is_integer n && Float.abs n < 1e15 ->
+            Trace.Int (int_of_float n)
+        | J.Num n -> Trace.Num n
+        | J.Str s -> Trace.Str s
+        | other -> Trace.Str (J.to_string ~indent:false other)
+      in
+      [ ("request_id", v) ]
+
 let handle_line t line =
   if String.length line > t.config.max_line_bytes then begin
     (* Refuse before parsing: an attacker (or a bug) streaming an
@@ -544,7 +616,7 @@ let handle_line t line =
           t.requests.errors <- t.requests.errors + 1;
           M.incr t.m_errors;
           Trace.with_span t.obs
-            ~attrs:[ ("kind", Trace.Str "invalid") ]
+            ~attrs:(("kind", Trace.Str "invalid") :: request_id_attrs id)
             "service.request"
             (fun () ->
               Trace.annotate t.obs
@@ -554,7 +626,7 @@ let handle_line t line =
           count_request t req;
           M.incr (request_counter t req);
           Trace.with_span t.obs
-            ~attrs:[ ("kind", Trace.Str (kind_name req)) ]
+            ~attrs:(("kind", Trace.Str (kind_name req)) :: request_id_attrs id)
             "service.request"
             (fun () -> dispatch t ~id req)
     in
@@ -562,6 +634,7 @@ let handle_line t line =
        negative duration into the histogram or the pressure logic. *)
     let elapsed = Float.max 0.0 (t.clock () -. t0) in
     M.observe t.m_latency elapsed;
+    record_latency t elapsed;
     update_pressure t ~elapsed;
     (Some response, stop)
   end

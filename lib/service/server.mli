@@ -25,13 +25,19 @@
     are never cached or journalled.
 
     Observability: every request runs inside a ["service.request"]
-    span (the solver's tier spans nest under it), cache traffic and
-    request latencies feed the metrics registry
+    span carrying the client's echoed [id] as a typed [request_id]
+    attribute (the solver's tier spans nest under it), cache traffic
+    and request latencies feed the metrics registry
     ([service.cache.hits/misses/evictions], [service.cache.size],
     [service.request.seconds], [service.requests.*],
     [service.journal.*], [service.deadline.exceeded],
-    [service.shed.responses]), and the clock is injectable, so a
-    [--fake-clock] run produces bit-for-bit reproducible traces. *)
+    [service.shed.responses], and the rolling
+    [service.request.p99_window] gauge over the last 128 requests —
+    shed decisions are annotated with its live value), a [metrics]
+    request returns the whole registry as a Prometheus text
+    exposition, and the clock is injectable — threaded through to the
+    solver's budget guard — so a [--fake-clock] run produces
+    bit-for-bit reproducible traces. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries (default 1024). *)
@@ -103,6 +109,7 @@ val stats_json : t -> Stochobs.Json.t
 (** The [stats] response payload: uptime, per-kind request counts,
     cache size/capacity/hits/misses/evictions/hit-rate, tenant count,
     a [journal] object (enabled/appended/recovered/skipped_corrupt/
-    compactions/errors), an [overload] object (shedding/pressure/
-    shed_responses/deadline_exceeded), and a snapshot of the metrics
-    registry. *)
+    compactions/errors), an [overload] object (a summary [state] of
+    ["ok"], ["pressure"] or ["shedding"], plus shedding/pressure/
+    shed_responses/deadline_exceeded/p99_window_seconds), and a
+    snapshot of the metrics registry. *)

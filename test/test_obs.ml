@@ -282,6 +282,147 @@ let test_metrics_json_roundtrip () =
       Alcotest.(check (option int)) "counter value" (Some 2)
         (Option.bind (J.member "c" j) J.to_int)
 
+(* ------------------------------ merge ----------------------------- *)
+
+(* Generator for well-kinded snapshots: a fixed name universe where
+   each name always carries the same kind and (for histograms) the
+   same bucket layout, as snapshots of the same program always do.
+   Merge's algebra is only claimed over these. *)
+let snapshot_gen =
+  let open QCheck.Gen in
+  let value_for name =
+    match name.[0] with
+    | 'c' -> map (fun n -> M.Counter_v n) (int_bound 1000)
+    | 'g' ->
+        map2
+          (fun last extra ->
+            let last = float_of_int last in
+            M.Gauge_v { last; max = last +. float_of_int extra })
+          (int_bound 100) (int_bound 10)
+    | _ ->
+        map2
+          (fun a b ->
+            M.Histogram_v
+              {
+                upper = [| 1.0; 2.0 |];
+                counts = [| a; b; 0 |];
+                total = a + b;
+                sum = float_of_int (a + (3 * b));
+              })
+          (int_bound 50) (int_bound 50)
+  in
+  let names = [ "c.one"; "c.two"; "g.one"; "h.one" ] in
+  (* Each name independently present or absent, kind fixed by name. *)
+  List.map
+    (fun name ->
+      bool >>= fun present ->
+      if present then map (fun v -> [ (name, v) ]) (value_for name)
+      else return [])
+    names
+  |> flatten_l
+  |> map List.concat
+
+let snapshot_arb =
+  QCheck.make snapshot_gen ~print:(fun s -> J.to_string (M.to_json s))
+
+let eq_snapshot a b =
+  J.to_string (M.to_json a) = J.to_string (M.to_json b)
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:300 ~name:"Metrics.merge is associative"
+    (QCheck.triple snapshot_arb snapshot_arb snapshot_arb)
+    (fun (a, b, c) ->
+      eq_snapshot (M.merge a (M.merge b c)) (M.merge (M.merge a b) c))
+
+let prop_merge_empty_identity =
+  QCheck.Test.make ~count:300 ~name:"empty snapshot is merge identity"
+    snapshot_arb
+    (fun s -> eq_snapshot (M.merge [] s) s && eq_snapshot (M.merge s []) s)
+
+let prop_merge_adds_counters =
+  QCheck.Test.make ~count:300 ~name:"merge adds counters and histograms"
+    (QCheck.pair snapshot_arb snapshot_arb)
+    (fun (a, b) ->
+      let count side name =
+        match List.assoc_opt name side with
+        | Some (M.Counter_v n) -> n
+        | _ -> 0
+      in
+      let merged = M.merge a b in
+      List.for_all
+        (fun name -> count merged name = count a name + count b name)
+        [ "c.one"; "c.two" ])
+
+let test_merge_per_domain_registries () =
+  (* The multicore-prep scenario: two independent registries fed by
+     the same instrumented code path, merged into one picture. *)
+  let feed () =
+    let r = M.create ~enabled:true () in
+    M.add (M.counter r "jobs") 3;
+    M.set (M.gauge r "depth") 2.0;
+    M.observe (M.histogram r "lat" ~buckets:[| 1.0 |]) 0.5;
+    M.snapshot r
+  in
+  let merged = M.merge (feed ()) (feed ()) in
+  (match List.assoc "jobs" merged with
+  | M.Counter_v n -> Alcotest.(check int) "counters add" 6 n
+  | _ -> Alcotest.fail "counter expected");
+  (match List.assoc "depth" merged with
+  | M.Gauge_v { last; max } ->
+      check_float "gauge keeps right's last" 2.0 last;
+      check_float "gauge max of maxes" 2.0 max
+  | _ -> Alcotest.fail "gauge expected");
+  match List.assoc "lat" merged with
+  | M.Histogram_v { total; sum; _ } ->
+      Alcotest.(check int) "histogram totals add" 2 total;
+      check_float "histogram sums add" 1.0 sum
+  | _ -> Alcotest.fail "histogram expected"
+
+(* ---------------------------- prometheus --------------------------- *)
+
+let test_prometheus_exposition () =
+  let t = M.create ~enabled:true () in
+  M.add (M.counter t "service.cache.hits") 3;
+  M.set (M.gauge t "service.request.p99_window") 0.25;
+  let h = M.histogram t "service.request.seconds" ~buckets:[| 0.1; 1.0 |] in
+  M.observe h 0.05;
+  M.observe h 0.5;
+  M.observe h 5.0;
+  let text = M.to_prometheus (M.snapshot t) in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+      (let nl = String.length needle and tl = String.length text in
+       let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+       at 0)
+  in
+  (* Names sanitized (dots to underscores), counters suffixed _total,
+     histograms cumulative and +Inf-terminated — the 0.0.4 text rules. *)
+  has "# TYPE service_cache_hits_total counter\n";
+  has "service_cache_hits_total 3\n";
+  has "# TYPE service_request_p99_window gauge\n";
+  has "service_request_p99_window 0.25\n";
+  has "# TYPE service_request_seconds histogram\n";
+  has "service_request_seconds_bucket{le=\"+Inf\"} 3\n";
+  has "service_request_seconds_count 3\n";
+  (* Buckets are cumulative: the le="1" bucket counts both smaller
+     observations. *)
+  has "service_request_seconds_bucket{le=\"1\"} 2\n";
+  (* Every non-comment line is name[{labels}] value. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.index_opt line ' ' with
+           | None -> Alcotest.failf "malformed exposition line %S" line
+           | Some i ->
+               let name = String.sub line 0 i in
+               Alcotest.(check bool)
+                 (Printf.sprintf "metric name well-formed in %S" line)
+                 true
+                 (name <> ""
+                 && (match name.[0] with
+                    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+                    | _ -> false)))
+
 (* ------------------------------- log ------------------------------ *)
 
 let test_log_levels () =
@@ -425,6 +566,13 @@ let () =
           Alcotest.test_case "diff clamps" `Quick test_diff_clamps_and_passes_through;
           Alcotest.test_case "zero filter" `Quick test_zero_filter;
           Alcotest.test_case "json roundtrip" `Quick test_metrics_json_roundtrip;
+          Alcotest.test_case "merge per-domain registries" `Quick
+            test_merge_per_domain_registries;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_empty_identity;
+          QCheck_alcotest.to_alcotest prop_merge_adds_counters;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
         ] );
       ( "log",
         [ Alcotest.test_case "levels" `Quick test_log_levels ] );

@@ -493,10 +493,82 @@ let test_fake_clock_golden_trace () =
   let s = quick_server ~obs:sink ~clock:(Stochobs.Clock.fake ()) () in
   ignore (Server.handle_line s {|{"kind":"stats","id":1}|});
   let expected =
-    {|{"type": "span","name": "service.request","id": 1,"start": 0,"end": 1,"attrs": {"kind": "stats","ok": true}}
+    {|{"type": "span","name": "service.request","id": 1,"start": 0,"end": 1,"attrs": {"kind": "stats","request_id": 1,"ok": true}}
 |}
   in
   Alcotest.(check string) "golden request span" expected (Buffer.contents buf)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* The metrics request returns the live registry as Prometheus text
+   exposition — the scrape contract behind `stochastic serve`. *)
+let test_metrics_request () =
+  let s =
+    Server.create
+      ~metrics:(Stochobs.Metrics.create ~enabled:true ())
+      {
+        Server.default_config with
+        Server.budget = Robust.Solver.quick_budget;
+      }
+  in
+  ignore (respond s {|{"kind":"solve","id":1,"dist":{"name":"exponential"}}|});
+  let r, stop = respond s {|{"kind":"metrics","id":2}|} in
+  Alcotest.(check bool) "metrics does not stop the loop" false stop;
+  Alcotest.(check bool) "ok" true (field "ok" r = J.Bool true);
+  Alcotest.(check bool) "kind echoed" true (field "kind" r = J.Str "metrics");
+  Alcotest.(check bool) "content type is prometheus text" true
+    (match field "content_type" r with
+    | J.Str c -> contains c "text/plain"
+    | _ -> false);
+  let exposition =
+    match field "exposition" r with
+    | J.Str e -> e
+    | _ -> Alcotest.fail "exposition is not a string"
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains exposition needle))
+    [
+      "# TYPE service_requests_solve_total counter\n";
+      "service_requests_solve_total 1\n";
+      "service_request_seconds_bucket";
+      "service_request_p99_window";
+    ]
+
+(* overload.state in the stats response walks ok -> pressure ->
+   shedding as the coarse fake clock drives every request past its
+   deadline, and the rolling p99 gauge reports the same overruns. *)
+let test_overload_state_and_p99 () =
+  let s =
+    Server.create
+      ~clock:(Stochobs.Clock.fake ~step:1.0 ())
+      {
+        Server.default_config with
+        Server.budget = Robust.Solver.quick_budget;
+        deadline = Some 0.5;
+        shed_threshold = 2;
+      }
+  in
+  let overload_of r = field "overload" (field "stats" r) in
+  let r, _ = respond s {|{"kind":"stats","id":1}|} in
+  Alcotest.(check bool) "fresh server is ok" true
+    (field "state" (overload_of r) = J.Str "ok");
+  Alcotest.(check bool) "window starts empty" true
+    (field "p99_window_seconds" (overload_of r) = J.Num 0.0);
+  let r, _ = respond s {|{"kind":"stats","id":2}|} in
+  Alcotest.(check bool) "one overrun is pressure" true
+    (field "state" (overload_of r) = J.Str "pressure");
+  (* A stats request reads the fake clock three times (start, uptime,
+     end), so its recorded latency is exactly two steps. *)
+  Alcotest.(check bool) "p99 window sees the overrun" true
+    (field "p99_window_seconds" (overload_of r) = J.Num 2.0);
+  let r, _ = respond s {|{"kind":"stats","id":3}|} in
+  Alcotest.(check bool) "threshold tips the state to shedding" true
+    (field "state" (overload_of r) = J.Str "shedding")
 
 let () =
   Alcotest.run "service"
@@ -542,5 +614,8 @@ let () =
             test_journal_stats_and_warm_restart;
           Alcotest.test_case "fake-clock golden trace" `Quick
             test_fake_clock_golden_trace;
+          Alcotest.test_case "metrics exposition" `Quick test_metrics_request;
+          Alcotest.test_case "overload state and p99 gauge" `Quick
+            test_overload_state_and_p99;
         ] );
     ]
